@@ -1,0 +1,152 @@
+// Command experiments runs the CHROME paper's evaluation reproductions
+// (one runner per table/figure; see DESIGN.md §3) and prints paper-style
+// result tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig06-08 -scale quick
+//	experiments -scale full            # entire suite (tens of minutes)
+//	experiments -qualify               # workload MPKI qualification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"chrome/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiment runners")
+		runID   = flag.String("run", "", "run specific experiments by id, comma-separated (default: all)")
+		scale   = flag.String("scale", "quick", "simulation scale: quick | full")
+		qualify = flag.Bool("qualify", false, "print per-workload baseline MPKI (selection criterion)")
+		outdir  = flag.String("outdir", "", "also write each report as CSV into this directory")
+		mdOut   = flag.String("md", "", "also write all reports as a markdown results document")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	if *qualify {
+		mpki := experiments.QualifyWorkloads(sc)
+		names := make([]string, 0, len(mpki))
+		for n := range mpki {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("workload MPKI (1-core, no prefetching, LRU):")
+		for _, n := range names {
+			marker := ""
+			if mpki[n] <= 1 {
+				marker = "  <-- BELOW the MPKI>1 selection criterion"
+			}
+			fmt.Printf("  %-14s %7.1f%s\n", n, mpki[n], marker)
+		}
+		return
+	}
+
+	runners := experiments.Runners()
+	if *runID != "" {
+		runners = runners[:0]
+		for _, id := range strings.Split(*runID, ",") {
+			r, err := experiments.RunnerByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	var all []experiments.Report
+	for _, r := range runners {
+		t0 := time.Now()
+		for _, rep := range r.Run(sc) {
+			fmt.Println(rep)
+			all = append(all, rep)
+			if *outdir != "" {
+				if err := writeCSV(*outdir, rep); err != nil {
+					fmt.Fprintln(os.Stderr, "csv:", err)
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %s)\n\n", r.ID, time.Since(t0).Round(time.Second))
+	}
+	fmt.Printf("suite completed in %s at scale=%s\n", time.Since(start).Round(time.Second), *scale)
+	if *mdOut != "" {
+		if err := os.WriteFile(*mdOut, []byte(markdownReport(all, *scale, sc, time.Since(start))), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "md:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mdOut)
+	}
+}
+
+// markdownReport renders all reports as a results document.
+func markdownReport(reports []experiments.Report, scale string, sc experiments.Scale, elapsed time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Recorded experiment results (scale=%s)\n\n", scale)
+	fmt.Fprintf(&b, "Budgets: %d warmup + %d measured instructions per core; "+
+		"heterogeneous mixes %d/%d/%d at 4/8/16 cores; suite runtime %s.\n\n",
+		sc.Warmup, sc.Measure, sc.HeteroMixes4, sc.HeteroMixes8, sc.HeteroMixes16,
+		elapsed.Round(time.Second))
+	for _, rep := range reports {
+		fmt.Fprintf(&b, "## %s — %s\n\n", rep.ID, rep.Title)
+		b.WriteString("```\n")
+		b.WriteString(rep.Table.String())
+		b.WriteString("```\n\n")
+		for _, n := range rep.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// writeCSV stores a report's table (and summary values as trailing
+// comment lines) under <dir>/<id>.csv.
+func writeCSV(dir string, rep experiments.Report) error {
+	var b strings.Builder
+	b.WriteString(rep.Table.CSV())
+	keys := make([]string, 0, len(rep.Summary))
+	for k := range rep.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "# %s,%g\n", k, rep.Summary[k])
+	}
+	return os.WriteFile(filepath.Join(dir, rep.ID+".csv"), []byte(b.String()), 0o644)
+}

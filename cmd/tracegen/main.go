@@ -1,0 +1,101 @@
+// Command tracegen dumps or captures synthetic workload traces: CSV on
+// stdout for inspection, or the binary trace format (-o) for the
+// capture-and-replay workflow (replay with chromesim -trace).
+//
+// Usage:
+//
+//	tracegen -workload mcf -n 100                  # CSV to stdout
+//	tracegen -workload mcf -n 200000 -o mcf.chtr   # binary capture
+//	tracegen -verify mcf.chtr                      # re-read a capture
+package main
+
+import (
+	"bufio"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"chrome/internal/trace"
+	"chrome/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "mcf", "workload profile name")
+		n      = flag.Int("n", 100, "number of records to dump/capture")
+		core   = flag.Int("core", 0, "core index (affects the address rebase)")
+		out    = flag.String("o", "", "write a binary trace to this file (.gz for gzip)")
+		verify = flag.String("verify", "", "read a binary trace file and print its record count")
+	)
+	flag.Parse()
+
+	if *verify != "" {
+		recs, err := readTraceFile(*verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d records\n", *verify, len(recs))
+		return
+	}
+
+	p, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	gen := p.New(*core)
+
+	if *out != "" {
+		if err := writeTraceFile(*out, trace.Capture(gen, *n)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", *n, *out)
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "pc,addr,write,dependent,gap")
+	for i := 0; i < *n; i++ {
+		rec := gen.Next()
+		fmt.Fprintf(w, "%#x,%#x,%v,%v,%d\n", rec.PC, uint64(rec.Addr), rec.Write, rec.Dependent, rec.Gap)
+	}
+}
+
+func writeTraceFile(path string, recs []trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer gz.Close()
+		w = gz
+	}
+	return trace.WriteTrace(w, recs)
+}
+
+func readTraceFile(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return trace.ReadTrace(r)
+}

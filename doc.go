@@ -1,0 +1,25 @@
+// Package chrome is a from-scratch Go reproduction of "CHROME:
+// Concurrency-Aware Holistic Cache Management Framework with Online
+// Reinforcement Learning" (Lu, Najafi, Liu, Sun — HPCA 2024).
+//
+// The repository contains the CHROME reinforcement-learning cache agent
+// (internal/chrome), every substrate it depends on — a trace-driven
+// multi-core cache-hierarchy simulator (internal/sim, internal/cpu,
+// internal/cache), synthetic SPEC/GAP workload generators (internal/trace,
+// internal/workload), hardware prefetchers (internal/prefetch), the C-AMAT
+// concurrency monitor (internal/camat) — and re-implementations of the
+// compared state-of-the-art policies Hawkeye, Glider, Mockingjay, CARE and
+// SHiP++ (internal/policy).
+//
+// Entry points:
+//
+//   - cmd/chromesim:   run one simulation configuration
+//   - cmd/experiments: reproduce the paper's tables and figures
+//   - cmd/tracegen:    inspect synthetic traces
+//   - examples/...:    runnable scenarios using the public APIs
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation section; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+package chrome

@@ -1,0 +1,63 @@
+// Quickstart: build a 4-core system with the CHROME LLC agent, run a
+// memory-intensive workload, and compare against the LRU baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"chrome/internal/cache"
+	"chrome/internal/chrome"
+	"chrome/internal/metrics"
+	"chrome/internal/policy"
+	"chrome/internal/prefetch"
+	"chrome/internal/sim"
+	"chrome/internal/workload"
+)
+
+func main() {
+	const cores = 4
+	profile, err := workload.ByName("mcf")
+	if err != nil {
+		panic(err)
+	}
+
+	// System configuration: Table V's hierarchy shape, scaled for a quick
+	// run, with the CRC-2 default prefetchers (next-line L1, stride L2).
+	cfg := sim.ScaledConfig(cores)
+	cfg.L1Prefetcher = func() prefetch.Prefetcher { return prefetch.NewNextLine(1) }
+	cfg.L2Prefetcher = func() prefetch.Prefetcher { return prefetch.NewStride(2) }
+
+	run := func(factory sim.PolicyFactory) sim.Result {
+		sys := sim.New(cfg, workload.HomogeneousMix(profile, cores), factory)
+		return sys.Run(100_000, 400_000) // warmup + measured instructions/core
+	}
+
+	// Baseline: classic LRU.
+	base := run(func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+		return policy.NewLRU()
+	})
+
+	// CHROME: the online-RL holistic cache manager. The obstructed callback
+	// wires the C-AMAT monitor's concurrency feedback into its rewards.
+	var agent *chrome.Agent
+	res := run(func(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+		ccfg := chrome.DefaultConfig()
+		ccfg.SampledSets = 256 // denser sampling for short runs
+		agent = chrome.New(ccfg, sets, ways)
+		agent.Obstructed = obstructed
+		return agent
+	})
+
+	fmt.Printf("workload: %s on %d cores\n", profile.Name, cores)
+	fmt.Printf("  LRU   : IPC %.4f, demand miss ratio %.1f%%\n",
+		metrics.Mean(base.IPC), 100*base.LLC.DemandMissRatio())
+	fmt.Printf("  CHROME: IPC %.4f, demand miss ratio %.1f%%, %d bypasses\n",
+		metrics.Mean(res.IPC), 100*res.LLC.DemandMissRatio(), res.LLC.Bypasses)
+	ws := metrics.WeightedSpeedup(res.IPC, base.IPC)
+	fmt.Printf("  weighted speedup over LRU: %s\n", metrics.Pct(ws))
+	st := agent.Stats()
+	fmt.Printf("  agent: %d decisions, %d SARSA updates, UPKSA %.0f\n",
+		st.Decisions, agent.QTable().Updates(), agent.UPKSA())
+}

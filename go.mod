@@ -1,0 +1,3 @@
+module chrome
+
+go 1.24

@@ -1,0 +1,344 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chrome/internal/mem"
+)
+
+// lruPolicy is a minimal test policy: LRU victim, never bypass.
+type lruPolicy struct{}
+
+func (*lruPolicy) Name() string { return "test-lru" }
+func (*lruPolicy) Victim(_ int, blocks []Block, _ mem.Access) (int, bool) {
+	best, bestTouch := 0, ^uint64(0)
+	for w := range blocks {
+		if !blocks[w].Valid {
+			return w, false
+		}
+		if blocks[w].LastTouch < bestTouch {
+			best, bestTouch = w, blocks[w].LastTouch
+		}
+	}
+	return best, false
+}
+func (*lruPolicy) OnHit(int, int, []Block, mem.Access)  {}
+func (*lruPolicy) OnFill(int, int, []Block, mem.Access) {}
+func (*lruPolicy) OnEvict(int, int, []Block)            {}
+
+// bypassAll bypasses every miss.
+type bypassAll struct{ lruPolicy }
+
+func (*bypassAll) Victim(int, []Block, mem.Access) (int, bool) { return 0, true }
+
+func newTestCache(t *testing.T, sets, ways int) *Cache {
+	t.Helper()
+	return New(Config{Name: "T", Sets: sets, Ways: ways}, &lruPolicy{})
+}
+
+func load(addr mem.Addr, cycle uint64) mem.Access {
+	return mem.Access{PC: 0x400, Addr: addr, Type: mem.Load, Cycle: cycle}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newTestCache(t, 16, 4)
+	if res := c.Access(load(0x1000, 1)); res.Hit {
+		t.Fatal("first access should miss")
+	}
+	if res := c.Access(load(0x1000, 2)); !res.Hit {
+		t.Fatal("second access should hit")
+	}
+	if res := c.Access(load(0x1008, 3)); !res.Hit {
+		t.Fatal("same-block access should hit")
+	}
+	st := c.Stats()
+	if st.DemandLoadMisses != 1 || st.DemandLoadHits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newTestCache(t, 1, 2) // one set, two ways
+	c.Access(load(0x0000, 1))
+	c.Access(load(0x0040, 2))
+	// Touch the first block so the second becomes LRU.
+	c.Access(load(0x0000, 3))
+	res := c.Access(load(0x0080, 4))
+	if res.Hit || res.Evicted == nil {
+		t.Fatal("expected an eviction on the third distinct block")
+	}
+	if res.Evicted.Addr != 0x0040 {
+		t.Fatalf("evicted %#x, want 0x40 (the LRU block)", uint64(res.Evicted.Addr))
+	}
+	if !c.Probe(0x0000) || c.Probe(0x0040) || !c.Probe(0x0080) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyEvictionIsWriteback(t *testing.T) {
+	c := newTestCache(t, 1, 1)
+	c.Access(mem.Access{Addr: 0x0, Type: mem.Store, Cycle: 1})
+	res := c.Access(load(0x40, 2))
+	if res.Evicted == nil || !res.Evicted.Dirty {
+		t.Fatal("expected a dirty eviction after a store")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestWritebackNeverAllocates(t *testing.T) {
+	c := newTestCache(t, 4, 2)
+	res := c.Access(mem.Access{Addr: 0x100, Type: mem.Writeback, Cycle: 1})
+	if res.Hit {
+		t.Fatal("writeback to empty cache should miss")
+	}
+	if c.Probe(0x100) {
+		t.Fatal("writeback miss must not allocate")
+	}
+	if c.Stats().WritebackMisses != 1 {
+		t.Fatalf("writeback misses = %d, want 1", c.Stats().WritebackMisses)
+	}
+	// Writeback to a present clean line marks it dirty.
+	c.Access(load(0x200, 2))
+	c.Access(mem.Access{Addr: 0x200, Type: mem.Writeback, Cycle: 3})
+	if st := c.Stats(); st.WritebackHits != 1 {
+		t.Fatalf("writeback hits = %d, want 1", st.WritebackHits)
+	}
+	res = c.Access(load(0x200+0x40*4*2, 4)) // different block, same set? ensure eviction
+	_ = res
+}
+
+func TestBypassDoesNotFill(t *testing.T) {
+	c := New(Config{Name: "T", Sets: 4, Ways: 2}, &bypassAll{})
+	res := c.Access(load(0x40, 1))
+	if !res.Bypassed || res.Block != nil {
+		t.Fatalf("expected bypass with nil block, got %+v", res)
+	}
+	if c.Probe(0x40) {
+		t.Fatal("bypassed block must not be cached")
+	}
+	if c.Stats().Bypasses != 1 || c.Stats().Fills != 0 {
+		t.Fatalf("stats %+v, want 1 bypass 0 fills", c.Stats())
+	}
+}
+
+func TestPrefetchUsefulAccounting(t *testing.T) {
+	c := newTestCache(t, 4, 2)
+	c.Access(mem.Access{Addr: 0x40, Type: mem.Prefetch, Cycle: 1})
+	if c.Stats().PrefetchFills != 1 {
+		t.Fatal("prefetch miss should fill")
+	}
+	// A prefetch hit does not count as useful.
+	c.Access(mem.Access{Addr: 0x40, Type: mem.Prefetch, Cycle: 2})
+	if c.Stats().PrefetchUseful != 0 {
+		t.Fatal("prefetch hits must not count as useful")
+	}
+	res := c.Access(load(0x40, 3))
+	if !res.FirstUse || c.Stats().PrefetchUseful != 1 {
+		t.Fatal("first demand hit on a prefetched line must count as useful")
+	}
+	// Second demand hit must not double count.
+	c.Access(load(0x40, 4))
+	if c.Stats().PrefetchUseful != 1 {
+		t.Fatal("prefetch usefulness double-counted")
+	}
+	if got := c.Stats().EPHR(); got != 1.0 {
+		t.Fatalf("EPHR = %v, want 1.0", got)
+	}
+}
+
+func TestEPHREpochBoundary(t *testing.T) {
+	c := newTestCache(t, 4, 2)
+	c.Access(mem.Access{Addr: 0x40, Type: mem.Prefetch, Cycle: 1})
+	c.ResetStats()
+	// The line was filled before the epoch boundary: using it now must not
+	// count toward this epoch's EPHR numerator.
+	c.Access(load(0x40, 2))
+	if c.Stats().PrefetchUseful != 0 {
+		t.Fatal("pre-epoch prefetch fill credited to the new epoch")
+	}
+}
+
+func TestUnusedEvictionStats(t *testing.T) {
+	c := newTestCache(t, 1, 1)
+	c.Access(mem.Access{Addr: 0x0, Type: mem.Prefetch, Cycle: 1})
+	c.Access(load(0x40, 2)) // evicts the unused prefetched line
+	st := c.Stats()
+	if st.EvictionsUnused != 1 || st.EvictionsUnusedPF != 1 {
+		t.Fatalf("stats %+v, want 1 unused (prefetched) eviction", st)
+	}
+	// A used line does not count.
+	c.Access(load(0x40, 3))
+	c.Access(load(0x80, 4))
+	if st := c.Stats(); st.EvictionsUnused != 1 {
+		t.Fatalf("used eviction miscounted: %+v", st)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newTestCache(t, 4, 2)
+	c.Access(mem.Access{Addr: 0x40, Type: mem.Store, Cycle: 1})
+	present, dirty := c.Invalidate(0x40)
+	if !present || !dirty {
+		t.Fatal("invalidate should report a present dirty line")
+	}
+	if c.Probe(0x40) {
+		t.Fatal("line still present after invalidate")
+	}
+	if present, _ := c.Invalidate(0x40); present {
+		t.Fatal("second invalidate should miss")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Name: "x", Sets: 0, Ways: 1},
+		{Name: "x", Sets: 3, Ways: 1},
+		{Name: "x", Sets: 4, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", bad)
+				}
+			}()
+			New(bad, &lruPolicy{})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil policy should panic")
+			}
+		}()
+		New(Config{Name: "x", Sets: 4, Ways: 1}, nil)
+	}()
+}
+
+func TestSetIndexWithinRange(t *testing.T) {
+	c := newTestCache(t, 64, 4)
+	f := func(a uint64) bool {
+		idx := c.SetIndex(mem.Addr(a))
+		return idx >= 0 && idx < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOccupancyInvariant property: after any access sequence, every set
+// holds at most `ways` valid blocks with distinct tags, and Probe agrees
+// with a shadow model.
+func TestOccupancyInvariant(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := newTestCache(t, 8, 2)
+		for i, a16 := range addrs {
+			addr := mem.Addr(a16) << 6
+			c.Access(load(addr, uint64(i+1)))
+		}
+		// Distinct-tag invariant per set.
+		for set := 0; set < 8; set++ {
+			seen := map[uint64]bool{}
+			n := 0
+			for _, b := range c.set(set) {
+				if b.Valid {
+					n++
+					if seen[b.Tag] {
+						return false
+					}
+					seen[b.Tag] = true
+					if int(b.Tag&7) != set {
+						return false // block in the wrong set
+					}
+				}
+			}
+			if n > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLRUMatchesReference property: the cache under the LRU policy must
+// behave identically to a straightforward reference LRU model.
+func TestLRUMatchesReference(t *testing.T) {
+	const sets, ways = 4, 3
+	f := func(addrs []uint8) bool {
+		c := newTestCache(t, sets, ways)
+		ref := make(map[int][]uint64) // set -> tags, MRU first
+		for i, a8 := range addrs {
+			addr := mem.Addr(a8) << 6
+			tag := addr.BlockNumber()
+			set := int(tag) % sets
+
+			wantHit := false
+			for _, tg := range ref[set] {
+				if tg == tag {
+					wantHit = true
+					break
+				}
+			}
+			res := c.Access(load(addr, uint64(i+1)))
+			if res.Hit != wantHit {
+				return false
+			}
+			// Update reference LRU.
+			lst := ref[set]
+			for j, tg := range lst {
+				if tg == tag {
+					lst = append(lst[:j], lst[j+1:]...)
+					break
+				}
+			}
+			lst = append([]uint64{tag}, lst...)
+			if len(lst) > ways {
+				lst = lst[:ways]
+			}
+			ref[set] = lst
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReuseTracker(t *testing.T) {
+	tr := NewReuseTracker(2)
+	tr.Record(0x40)
+	tr.Record(0x80)
+	tr.Record(0xC0) // beyond the limit: counted, not tracked
+	tr.Observe(0x40)
+	tr.Observe(0x40) // second observe must not double count
+	tr.Observe(0xC0) // untracked: no effect
+	if tr.Total != 3 || tr.ReRequested != 1 || tr.NeverReRequested() != 2 {
+		t.Fatalf("tracker state total=%d rereq=%d", tr.Total, tr.ReRequested)
+	}
+	if got := tr.ReRequestedRatio(); got < 0.33 || got > 0.34 {
+		t.Fatalf("ratio = %v, want 1/3", got)
+	}
+	empty := NewReuseTracker(0)
+	if empty.ReRequestedRatio() != 0 {
+		t.Fatal("empty tracker ratio should be 0")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{DemandLoadHits: 3, DemandStoreHits: 1, DemandLoadMisses: 4, DemandStoreMisses: 2}
+	if s.DemandHits() != 4 || s.DemandMisses() != 6 || s.DemandAccesses() != 10 {
+		t.Fatal("demand arithmetic wrong")
+	}
+	if got := s.DemandMissRatio(); got != 0.6 {
+		t.Fatalf("miss ratio = %v, want 0.6", got)
+	}
+	var zero Stats
+	if zero.DemandMissRatio() != 0 || zero.EPHR() != 0 {
+		t.Fatal("zero stats should produce zero ratios")
+	}
+}

@@ -1,0 +1,120 @@
+// Package camat implements the Concurrent Average Memory Access Time
+// (C-AMAT) monitor used by CHROME and CARE for concurrency-aware
+// system-level feedback (Sun & Wang, IEEE Computer 2014; paper §II-C).
+//
+// C-AMAT at a memory layer is defined as the layer's memory *active* cycles
+// divided by the number of accesses, where a cycle is counted once no
+// matter how many accesses from the same core overlap in it. The monitor
+// measures per-core C-AMAT at the LLC over fixed epochs (100K cycles in the
+// paper) and classifies a core as "LLC-obstructed" for the next epoch when
+// its C-AMAT(LLC) exceeds the average main-memory latency T_mem — meaning
+// the core currently derives little benefit from caching at the LLC.
+package camat
+
+// DefaultEpochCycles is the paper's runtime measurement period.
+const DefaultEpochCycles = 100_000
+
+// Monitor tracks per-core LLC access overlap and obstruction status.
+//
+// Accesses from one core must be recorded in non-decreasing start-cycle
+// order (the simulator's per-core progression guarantees this); overlap
+// accounting is an exact interval-union under that ordering.
+type Monitor struct {
+	epochCycles uint64
+	tMem        float64
+	cores       []coreState
+}
+
+type coreState struct {
+	epoch        uint64 // index of the epoch being accumulated
+	coveredUntil uint64 // end of the union of active intervals so far
+	activeCycles uint64
+	accesses     uint64
+	obstructed   bool // verdict from the previous completed epoch
+
+	// lifetime aggregates (for reporting)
+	totalActive   uint64
+	totalAccesses uint64
+}
+
+// New builds a monitor for the given core count. tMem is the average main
+// memory latency in cycles used as the obstruction threshold; epochCycles
+// of zero selects the paper's 100K-cycle default.
+func New(cores int, tMem float64, epochCycles uint64) *Monitor {
+	if cores <= 0 {
+		panic("camat: cores must be positive")
+	}
+	if epochCycles == 0 {
+		epochCycles = DefaultEpochCycles
+	}
+	return &Monitor{
+		epochCycles: epochCycles,
+		tMem:        tMem,
+		cores:       make([]coreState, cores),
+	}
+}
+
+// Record registers one LLC access from core starting at cycle start and
+// taking latency cycles to complete (hit or miss; prefetch or demand).
+func (m *Monitor) Record(core int, start, latency uint64) {
+	cs := &m.cores[core]
+	epoch := start / m.epochCycles
+	if epoch != cs.epoch {
+		m.rollEpoch(cs, epoch)
+	}
+	end := start + latency
+	// Union of [start, end) with the already-covered prefix.
+	from := start
+	if cs.coveredUntil > from {
+		from = cs.coveredUntil
+	}
+	if end > from {
+		cs.activeCycles += end - from
+		cs.totalActive += end - from
+		cs.coveredUntil = end
+	}
+	cs.accesses++
+	cs.totalAccesses++
+}
+
+// rollEpoch finalizes the epoch verdict and starts accumulating a new one.
+func (cs *coreState) reset() {
+	cs.activeCycles = 0
+	cs.accesses = 0
+}
+
+func (m *Monitor) rollEpoch(cs *coreState, newEpoch uint64) {
+	if cs.accesses > 0 {
+		camat := float64(cs.activeCycles) / float64(cs.accesses)
+		cs.obstructed = camat > m.tMem
+	} else {
+		cs.obstructed = false
+	}
+	cs.reset()
+	cs.epoch = newEpoch
+}
+
+// Obstructed reports whether the core was classified as LLC-obstructed in
+// its most recently completed epoch.
+func (m *Monitor) Obstructed(core int) bool {
+	if core < 0 || core >= len(m.cores) {
+		return false
+	}
+	return m.cores[core].obstructed
+}
+
+// CAMAT returns the lifetime C-AMAT(LLC) of the core in cycles per access
+// (0 when the core issued no LLC accesses).
+func (m *Monitor) CAMAT(core int) float64 {
+	cs := &m.cores[core]
+	if cs.totalAccesses == 0 {
+		return 0
+	}
+	return float64(cs.totalActive) / float64(cs.totalAccesses)
+}
+
+// TMem returns the configured obstruction threshold.
+func (m *Monitor) TMem() float64 { return m.tMem }
+
+// Cores returns the configured core count.
+func (m *Monitor) Cores() int { return len(m.cores) }

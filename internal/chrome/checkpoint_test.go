@@ -1,0 +1,94 @@
+package chrome
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+func trainAgent(t *testing.T, cfg Config, n int) *Agent {
+	t.Helper()
+	a, c := newTestAgent(t, cfg, 16, 2)
+	for i := 0; i < n; i++ {
+		addr := mem.Addr((i % 64) * 64)
+		if i%2 == 0 {
+			addr = mem.Addr(1<<22 + i*64)
+		}
+		c.Access(mem.Access{PC: uint64(i % 4), Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+	}
+	return a
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	trained := trainAgent(t, cfg, 40000)
+	var buf bytes.Buffer
+	if err := trained.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(cfg, 16, 2)
+	if err := fresh.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The restored table must agree with the trained one on every probed
+	// state-action Q-value.
+	for i := uint64(0); i < 500; i++ {
+		st := NewState(mem.Mix64(i), i%64)
+		for a := Action(0); a < NumActions; a++ {
+			if trained.QTable().Q(st, a) != fresh.QTable().Q(st, a) {
+				t.Fatalf("Q mismatch after restore at state %d action %v", i, a)
+			}
+		}
+	}
+	if trained.QTable().Updates() != fresh.QTable().Updates() {
+		t.Fatal("update counter not restored")
+	}
+}
+
+func TestCheckpointWarmStartBehaviour(t *testing.T) {
+	cfg := testConfig()
+	trained := trainAgent(t, cfg, 40000)
+	var buf bytes.Buffer
+	if err := trained.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warm := New(cfg, 16, 2)
+	if err := warm.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A warm-started agent must act on the learned policy immediately: its
+	// first decisions match the trained agent's current argmax.
+	c := cache.New(cache.Config{Name: "LLC", Sets: 16, Ways: 2}, warm)
+	c.Access(mem.Access{PC: 1, Addr: 1 << 23, Type: mem.Load, Cycle: 1})
+	if warm.Stats().Decisions != 1 {
+		t.Fatal("warm agent made no decision")
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	cfg := testConfig()
+	trained := trainAgent(t, cfg, 5000)
+	var buf bytes.Buffer
+	if err := trained.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := DefaultConfig()
+	other.SubTables = 2
+	mismatched := New(other, 16, 2)
+	if err := mismatched.LoadCheckpoint(&buf); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	a := New(testConfig(), 16, 2)
+	for _, data := range [][]byte{{}, []byte("XXXXXXXXXXXX"), append([]byte("CHQT"), 9, 2, 4, 11)} {
+		if err := a.LoadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("data %q: err = %v, want ErrBadCheckpoint", data, err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package chrome
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEQInsertEvictFIFO(t *testing.T) {
+	eq := NewEQ(1, 3)
+	for i := 0; i < 3; i++ {
+		if _, evicted := eq.Insert(0, EQEntry{AddrHash: uint16(i)}); evicted {
+			t.Fatalf("insert %d evicted before the queue was full", i)
+		}
+	}
+	if eq.Len(0) != 3 {
+		t.Fatalf("len = %d, want 3", eq.Len(0))
+	}
+	old, evicted := eq.Insert(0, EQEntry{AddrHash: 3})
+	if !evicted || old.AddrHash != 0 {
+		t.Fatalf("expected eviction of the oldest entry (hash 0), got %+v %v", old, evicted)
+	}
+	// FIFO order continues.
+	old, _ = eq.Insert(0, EQEntry{AddrHash: 4})
+	if old.AddrHash != 1 {
+		t.Fatalf("expected hash 1 next, got %d", old.AddrHash)
+	}
+}
+
+func TestEQHeadIsOldest(t *testing.T) {
+	eq := NewEQ(1, 3)
+	if eq.Head(0) != nil {
+		t.Fatal("empty queue should have nil head")
+	}
+	eq.Insert(0, EQEntry{AddrHash: 10})
+	eq.Insert(0, EQEntry{AddrHash: 11})
+	if eq.Head(0).AddrHash != 10 {
+		t.Fatalf("head = %d, want 10", eq.Head(0).AddrHash)
+	}
+	eq.Insert(0, EQEntry{AddrHash: 12})
+	eq.Insert(0, EQEntry{AddrHash: 13}) // evicts 10
+	if eq.Head(0).AddrHash != 11 {
+		t.Fatalf("head after eviction = %d, want 11", eq.Head(0).AddrHash)
+	}
+}
+
+func TestEQFindOldestUnrewarded(t *testing.T) {
+	eq := NewEQ(1, 4)
+	eq.Insert(0, EQEntry{AddrHash: 7})
+	eq.Insert(0, EQEntry{AddrHash: 8})
+	eq.Insert(0, EQEntry{AddrHash: 7})
+	e := eq.Find(0, 7)
+	if e == nil {
+		t.Fatal("find failed")
+	}
+	e.HasReward = true
+	e.Reward = 20
+	// The next find must return the second (still unrewarded) entry.
+	e2 := eq.Find(0, 7)
+	if e2 == nil || e2.HasReward {
+		t.Fatal("second matching entry not found")
+	}
+	e2.HasReward = true
+	if eq.Find(0, 7) != nil {
+		t.Fatal("all entries rewarded; find should return nil")
+	}
+	if eq.Find(0, 9) != nil {
+		t.Fatal("non-existent hash matched")
+	}
+}
+
+func TestEQQueuesAreIndependent(t *testing.T) {
+	eq := NewEQ(2, 2)
+	eq.Insert(0, EQEntry{AddrHash: 1})
+	if eq.Find(1, 1) != nil {
+		t.Fatal("entry leaked across queues")
+	}
+	if eq.Len(1) != 0 {
+		t.Fatal("queue 1 should be empty")
+	}
+}
+
+func TestEQValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid EQ dimensions")
+		}
+	}()
+	NewEQ(0, 5)
+}
+
+// Property: after any sequence of inserts, Len never exceeds depth and the
+// eviction order matches a reference FIFO.
+func TestEQMatchesReferenceFIFO(t *testing.T) {
+	const depth = 5
+	f := func(hashes []uint16) bool {
+		eq := NewEQ(1, depth)
+		var ref []uint16
+		for _, h := range hashes {
+			old, evicted := eq.Insert(0, EQEntry{AddrHash: h})
+			if evicted {
+				if len(ref) != depth || old.AddrHash != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			} else if len(ref) >= depth {
+				return false
+			}
+			ref = append(ref, h)
+			if eq.Len(0) != len(ref) {
+				return false
+			}
+			if head := eq.Head(0); head == nil || head.AddrHash != ref[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashAddrBlockGranularity(t *testing.T) {
+	if HashAddr(0x1000) != HashAddr(0x103F) {
+		t.Fatal("addresses in the same block must share a hash")
+	}
+	if HashAddr(0x1000) == HashAddr(0x1040) {
+		t.Fatal("adjacent blocks should (almost surely) differ")
+	}
+}

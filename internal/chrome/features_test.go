@@ -1,0 +1,130 @@
+package chrome
+
+import (
+	"testing"
+
+	"chrome/internal/mem"
+)
+
+func TestFeatureKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range AllFeatureKinds() {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("feature %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if len(AllFeatureKinds()) != int(numFeatureKinds) {
+		t.Fatal("AllFeatureKinds incomplete")
+	}
+}
+
+func TestExtractorDefaultMatchesPaper(t *testing.T) {
+	e := newExtractor([]FeatureKind{FeatPCSignature, FeatPageNumber}, 4)
+	acc := mem.Access{PC: 0x400, Addr: 0x12345678, Type: mem.Load, Core: 1}
+	st := e.state(acc, false)
+	if st.Len() != 2 {
+		t.Fatalf("state dimensionality %d, want 2", st.Len())
+	}
+	if st.Feature(1) != acc.Addr.PageNumber() {
+		t.Fatal("second feature must be the page number")
+	}
+}
+
+func TestExtractorDeltaFeature(t *testing.T) {
+	e := newExtractor([]FeatureKind{FeatDelta}, 1)
+	a1 := mem.Access{PC: 1, Addr: 0 * 64, Type: mem.Load}
+	a2 := mem.Access{PC: 1, Addr: 5 * 64, Type: mem.Load}
+	a3 := mem.Access{PC: 1, Addr: 2 * 64, Type: mem.Load}
+	if d := e.state(a1, false).Feature(0); d != 0 {
+		t.Fatalf("first access delta = %d, want 0", int64(d))
+	}
+	if d := e.state(a2, false).Feature(0); int64(d) != 5 {
+		t.Fatalf("delta = %d, want 5 blocks", int64(d))
+	}
+	if d := e.state(a3, false).Feature(0); int64(d) != -3 {
+		t.Fatalf("delta = %d, want -3 blocks", int64(d))
+	}
+}
+
+func TestExtractorPerCoreIsolation(t *testing.T) {
+	e := newExtractor([]FeatureKind{FeatDelta}, 2)
+	e.state(mem.Access{PC: 1, Addr: 0, Core: 0, Type: mem.Load}, false)
+	// Core 1's first access has no previous access: delta 0 regardless of
+	// core 0's history.
+	if d := e.state(mem.Access{PC: 1, Addr: 100 * 64, Core: 1, Type: mem.Load}, false).Feature(0); d != 0 {
+		t.Fatalf("core 1 first delta = %d, want 0 (contexts must be per-core)", int64(d))
+	}
+}
+
+func TestExtractorHistoryFeaturesChange(t *testing.T) {
+	e := newExtractor([]FeatureKind{FeatPCHistory, FeatDeltaHistory}, 1)
+	s1 := e.state(mem.Access{PC: 0xA, Addr: 0x1000, Type: mem.Load}, false)
+	s2 := e.state(mem.Access{PC: 0xB, Addr: 0x9000, Type: mem.Load}, false)
+	if s1.Feature(0) == s2.Feature(0) {
+		t.Fatal("PC-history feature did not change after a new PC")
+	}
+	if s1.Feature(1) == s2.Feature(1) {
+		t.Fatal("delta-history feature did not change after a new delta")
+	}
+}
+
+func TestExtractorCombinationFeatures(t *testing.T) {
+	e := newExtractor([]FeatureKind{FeatPCDelta, FeatPCPage, FeatPCPageOffset, FeatAddress}, 1)
+	acc1 := mem.Access{PC: 0x400, Addr: 0x10000, Type: mem.Load}
+	acc2 := mem.Access{PC: 0x500, Addr: 0x10000, Type: mem.Load}
+	s1 := e.state(acc1, false)
+	s2 := e.state(acc2, false)
+	// Combination features must be PC-sensitive; the pure address feature
+	// must not be.
+	for i := 0; i < 3; i++ {
+		if s1.Feature(i) == s2.Feature(i) {
+			t.Fatalf("combination feature %d not PC-sensitive", i)
+		}
+	}
+	if s1.Feature(3) != s2.Feature(3) {
+		t.Fatal("address feature must ignore the PC")
+	}
+}
+
+func TestExtractorValidation(t *testing.T) {
+	for _, bad := range [][]FeatureKind{
+		nil,
+		make([]FeatureKind, MaxStateFeatures+1),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("feature selection %v should panic", bad)
+				}
+			}()
+			newExtractor(bad, 1)
+		}()
+	}
+}
+
+func TestAgentWithExplicitFeatureSelection(t *testing.T) {
+	cfg := testConfig()
+	cfg.StateFeatures = []FeatureKind{FeatPCDelta, FeatPageOffset, FeatPCHistory}
+	a, c := newTestAgent(t, cfg, 16, 2)
+	for i := 0; i < 20000; i++ {
+		c.Access(mem.Access{PC: uint64(i % 3), Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+	}
+	if a.QTable().Updates() == 0 {
+		t.Fatal("3-feature agent performed no updates")
+	}
+	if a.QTable().n != 3 {
+		t.Fatalf("Q-table dimensionality %d, want 3", a.QTable().n)
+	}
+}
+
+func TestOverheadScalesWithExplicitFeatures(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StateFeatures = []FeatureKind{FeatPCSignature, FeatPageNumber, FeatDelta, FeatPCHistory}
+	ov := ComputeOverhead(cfg, 12<<20)
+	base := ComputeOverhead(DefaultConfig(), 12<<20)
+	if ov.QTableBits != 2*base.QTableBits {
+		t.Fatalf("4-feature Q-table = %d bits, want double the 2-feature %d", ov.QTableBits, base.QTableBits)
+	}
+}

@@ -1,0 +1,173 @@
+package chrome
+
+// This file realizes Figure 5 of the paper: the five-stage pipelined
+// organization of the Q-Table lookup. The functional model in qtable.go
+// computes the same values in one call; LookupPipeline processes lookups
+// through explicit stage registers, which (a) documents the hardware
+// organization, (b) lets tests prove the staged datapath computes exactly
+// the functional result, and (c) provides the latency/occupancy accounting
+// the paper derives from CACTI (§V-G: ~2 cycles, off the critical path).
+
+// pipelineStages is the depth of the Fig. 5 lookup pipeline:
+// 1. extract features / form feature-action pairs
+// 2. compute sub-table indices
+// 3. read partial Q-values
+// 4. sum partials per feature-action pair
+// 5. max across features per action.
+const pipelineStages = 5
+
+// lookupRequest is one in-flight Q-table lookup.
+type lookupRequest struct {
+	state State
+	hit   bool
+	stage int
+
+	// Per-stage registers.
+	indices  [][]uint64 // [feature][subTable], from stage 2
+	partials [][]int32  // [feature][action] summed values, stage 3-4
+	result   Action
+	resultQ  float64
+	done     bool
+}
+
+// LookupPipeline is a cycle-by-cycle model of the Fig. 5 lookup pipeline.
+// One request enters per cycle; results emerge pipelineStages cycles later
+// (throughput one lookup per cycle).
+type LookupPipeline struct {
+	qt     *QTable
+	slots  []*lookupRequest
+	cycles uint64
+	issued uint64
+	found  uint64
+}
+
+// NewLookupPipeline builds a pipeline over the given Q-table.
+func NewLookupPipeline(qt *QTable) *LookupPipeline {
+	return &LookupPipeline{qt: qt, slots: make([]*lookupRequest, pipelineStages)}
+}
+
+// Stages returns the pipeline depth.
+func (p *LookupPipeline) Stages() int { return pipelineStages }
+
+// Cycles returns how many cycles the pipeline has advanced.
+func (p *LookupPipeline) Cycles() uint64 { return p.cycles }
+
+// Issue inserts a lookup into stage 1. It reports false when stage 1 is
+// occupied this cycle (issue again after Tick).
+func (p *LookupPipeline) Issue(s State, hit bool) bool {
+	if p.slots[0] != nil {
+		return false
+	}
+	p.slots[0] = &lookupRequest{state: s, hit: hit}
+	p.issued++
+	return true
+}
+
+// Tick advances every in-flight request one stage and returns the request
+// completing this cycle, if any.
+func (p *LookupPipeline) Tick() (Action, float64, bool) {
+	p.cycles++
+	// Retire from the last stage.
+	var retired *lookupRequest
+	if r := p.slots[pipelineStages-1]; r != nil && r.done {
+		retired = r
+		p.slots[pipelineStages-1] = nil
+		p.found++
+	}
+	// Advance the remaining stages back to front.
+	for s := pipelineStages - 1; s >= 1; s-- {
+		if p.slots[s] == nil && p.slots[s-1] != nil {
+			r := p.slots[s-1]
+			p.slots[s-1] = nil
+			p.executeStage(r, s)
+			p.slots[s] = r
+		}
+	}
+	if retired == nil {
+		return 0, 0, false
+	}
+	return retired.result, retired.resultQ, true
+}
+
+// executeStage performs the work of entering stage s (stages are numbered
+// 0..4; stage 0's work — feature extraction — happened at Issue).
+func (p *LookupPipeline) executeStage(r *lookupRequest, s int) {
+	qt := p.qt
+	switch s {
+	case 1: // index generation
+		r.indices = make([][]uint64, qt.n)
+		for fi := 0; fi < qt.n; fi++ {
+			r.indices[fi] = make([]uint64, qt.cfg.SubTables)
+			for t := 0; t < qt.cfg.SubTables; t++ {
+				r.indices[fi][t] = qt.index(t, r.state.f[fi])
+			}
+		}
+	case 2: // sub-table reads (kept per-table; summed next stage)
+		r.partials = make([][]int32, qt.n)
+		for fi := 0; fi < qt.n; fi++ {
+			r.partials[fi] = make([]int32, NumActions)
+		}
+	case 3: // per-feature-action sums
+		for fi := 0; fi < qt.n; fi++ {
+			for a := 0; a < NumActions; a++ {
+				var sum int32
+				for t := 0; t < qt.cfg.SubTables; t++ {
+					sum += int32(qt.partials[fi][t][r.indices[fi][t]*NumActions+uint64(a)])
+				}
+				r.partials[fi][a] = sum
+			}
+		}
+	case 4: // max across features, argmax across legal actions
+		best, bestQ := ActionEPV0, p.composed(r, ActionEPV0)
+		if !r.hit {
+			// Match the functional tie-break: insertion actions first.
+			for _, a := range missActionOrder {
+				if q := p.composed(r, a); q > bestQ {
+					best, bestQ = a, q
+				}
+			}
+		} else {
+			for a := ActionEPV1; a < NumActions; a++ {
+				if q := p.composed(r, a); q > bestQ {
+					best, bestQ = a, q
+				}
+			}
+		}
+		r.result, r.resultQ, r.done = best, bestQ, true
+	}
+}
+
+// composed applies the configured composition to the staged sums.
+func (p *LookupPipeline) composed(r *lookupRequest, a Action) float64 {
+	if p.qt.cfg.Compose == ComposeSum {
+		var total int32
+		for fi := 0; fi < p.qt.n; fi++ {
+			total += r.partials[fi][a]
+		}
+		return float64(total) / qScale
+	}
+	best := r.partials[0][a]
+	for fi := 1; fi < p.qt.n; fi++ {
+		if r.partials[fi][a] > best {
+			best = r.partials[fi][a]
+		}
+	}
+	return float64(best) / qScale
+}
+
+// Lookup runs one request to completion through an empty pipeline and
+// returns the action, its Q-value, and the latency in pipeline cycles.
+// It asserts the pipeline invariant that a lone request takes exactly
+// Stages() cycles.
+func (p *LookupPipeline) Lookup(s State, hit bool) (Action, float64, uint64) {
+	for !p.Issue(s, hit) {
+		p.Tick()
+	}
+	start := p.cycles
+	for {
+		a, q, ok := p.Tick()
+		if ok {
+			return a, q, p.cycles - start
+		}
+	}
+}

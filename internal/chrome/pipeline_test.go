@@ -1,0 +1,94 @@
+package chrome
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPipelineMatchesFunctionalLookup: the staged Fig. 5 datapath must
+// compute exactly the functional BestAction for any state and training.
+func TestPipelineMatchesFunctionalLookup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.3
+	qt := NewQTable(cfg)
+	// Train some states so the table is non-uniform.
+	for i := uint64(0); i < 500; i++ {
+		st := NewState(i*3, i*7)
+		qt.Update(st, Action(i%NumActions), float64(int64(i%41))-20, 0.5)
+	}
+	pl := NewLookupPipeline(qt)
+	f := func(pc, pn uint64, hit bool) bool {
+		st := NewState(pc, pn)
+		wantA, wantQ := qt.BestAction(st, hit)
+		gotA, gotQ, _ := pl.Lookup(st, hit)
+		return gotA == wantA && gotQ == wantQ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineLatencyIsStageCount(t *testing.T) {
+	qt := NewQTable(DefaultConfig())
+	pl := NewLookupPipeline(qt)
+	_, _, lat := pl.Lookup(NewState(1, 2), false)
+	if lat != uint64(pl.Stages()) {
+		t.Fatalf("lone-lookup latency = %d cycles, want %d (pipeline depth)", lat, pl.Stages())
+	}
+}
+
+// TestPipelineThroughput: with a full pipeline, one result retires per
+// cycle (Fig. 5's purpose: lookups off the critical path at full rate).
+func TestPipelineThroughput(t *testing.T) {
+	qt := NewQTable(DefaultConfig())
+	pl := NewLookupPipeline(qt)
+	const n = 100
+	issued, retired := 0, 0
+	for cycle := 0; retired < n && cycle < 10*n; cycle++ {
+		if issued < n && pl.Issue(NewState(uint64(issued), uint64(issued)), false) {
+			issued++
+		}
+		if _, _, ok := pl.Tick(); ok {
+			retired++
+		}
+	}
+	// n results in roughly n + depth cycles.
+	if got := pl.Cycles(); got > uint64(n+pipelineStages+1) {
+		t.Fatalf("%d lookups took %d cycles, want about %d (1/cycle throughput)",
+			n, got, n+pipelineStages)
+	}
+}
+
+func TestPipelineBackpressure(t *testing.T) {
+	qt := NewQTable(DefaultConfig())
+	pl := NewLookupPipeline(qt)
+	if !pl.Issue(NewState(1, 1), false) {
+		t.Fatal("empty pipeline refused a request")
+	}
+	if pl.Issue(NewState(2, 2), false) {
+		t.Fatal("stage 1 double-booked within one cycle")
+	}
+	pl.Tick()
+	if !pl.Issue(NewState(2, 2), false) {
+		t.Fatal("stage 1 not freed after a tick")
+	}
+}
+
+// TestPipelineSumCompose covers the ComposeSum variant through the staged
+// datapath.
+func TestPipelineSumCompose(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Compose = ComposeSum
+	cfg.Alpha = 0.3
+	qt := NewQTable(cfg)
+	for i := uint64(0); i < 200; i++ {
+		qt.Update(NewState(i, i+1), Action(i%NumActions), 5, 0.5)
+	}
+	pl := NewLookupPipeline(qt)
+	st := NewState(42, 43)
+	wantA, wantQ := qt.BestAction(st, true)
+	gotA, gotQ, _ := pl.Lookup(st, true)
+	if gotA != wantA || gotQ != wantQ {
+		t.Fatalf("sum-compose pipeline (%v, %v) != functional (%v, %v)", gotA, gotQ, wantA, wantQ)
+	}
+}

@@ -1,0 +1,140 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAddr(t *testing.T) {
+	cases := []struct {
+		in, want Addr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{4095, 4032},
+		{4096, 4096},
+	}
+	for _, c := range cases {
+		if got := c.in.BlockAddr(); got != c.want {
+			t.Errorf("BlockAddr(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPageArithmetic(t *testing.T) {
+	a := Addr(0x12345)
+	if got := a.PageNumber(); got != 0x12 {
+		t.Errorf("PageNumber = %#x, want 0x12", got)
+	}
+	if got := a.PageOffset(); got != 0x345 {
+		t.Errorf("PageOffset = %#x, want 0x345", got)
+	}
+	if got := a.BlockNumber(); got != 0x12345>>6 {
+		t.Errorf("BlockNumber = %#x, want %#x", got, 0x12345>>6)
+	}
+}
+
+func TestBlockAddrProperties(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		b := addr.BlockAddr()
+		return b%BlockSize == 0 && b <= addr && addr-b < BlockSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageDecompositionProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return addr.PageNumber()*PageSize+addr.PageOffset() == uint64(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessTypeClassification(t *testing.T) {
+	if !Load.IsDemand() || !Store.IsDemand() {
+		t.Error("loads and stores must be demand accesses")
+	}
+	if Prefetch.IsDemand() || Writeback.IsDemand() {
+		t.Error("prefetches and writebacks must not be demand accesses")
+	}
+	names := map[AccessType]string{Load: "load", Store: "store", Prefetch: "prefetch", Writeback: "writeback"}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	if AccessType(200).String() != "unknown" {
+		t.Error("out-of-range AccessType should stringify as unknown")
+	}
+}
+
+func TestIsPrefetch(t *testing.T) {
+	if !(Access{Type: Prefetch}).IsPrefetch() {
+		t.Error("prefetch access not detected")
+	}
+	if (Access{Type: Load}).IsPrefetch() {
+		t.Error("load misdetected as prefetch")
+	}
+}
+
+func TestMix64IsInjectiveOnSample(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 100000; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMix64Deterministic(t *testing.T) {
+	f := func(x uint64) bool { return Mix64(x) == Mix64(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldHashRange(t *testing.T) {
+	f := func(x uint64) bool {
+		for _, bits := range []uint{1, 8, 11, 16} {
+			if FoldHash(x, bits) >= 1<<bits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldHashSpreads(t *testing.T) {
+	// Sequential inputs should spread across buckets, not cluster.
+	const bits = 8
+	counts := make([]int, 1<<bits)
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		counts[FoldHash(i, bits)]++
+	}
+	expected := n / (1 << bits)
+	for b, c := range counts {
+		if c < expected/2 || c > expected*2 {
+			t.Fatalf("bucket %d has %d entries, expected about %d", b, c, expected)
+		}
+	}
+}
+
+func TestHashCombineOrderSensitive(t *testing.T) {
+	if HashCombine(1, 2) == HashCombine(2, 1) {
+		t.Error("HashCombine should be order-sensitive")
+	}
+}

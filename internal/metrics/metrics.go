@@ -1,0 +1,161 @@
+// Package metrics implements the evaluation metrics and report formatting
+// used by the experiment harness: geometric means, normalized weighted
+// speedup over the LRU baseline (the paper's headline metric), and aligned
+// text tables for the paper's figures and tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs; values must be positive.
+// It returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedSpeedup returns the normalized weighted speedup of a policy run
+// over the LRU baseline on the same mix: the mean of per-core IPC ratios
+// (§VI: "normalized weighted speedup over LRU", the standard shared-cache
+// metric of Eyerman & Eeckhout).
+func WeightedSpeedup(ipc, baseline []float64) float64 {
+	if len(ipc) != len(baseline) || len(ipc) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range ipc {
+		if baseline[i] <= 0 {
+			return 0
+		}
+		sum += ipc[i] / baseline[i]
+	}
+	return sum / float64(len(ipc))
+}
+
+// SpeedupPercent converts a speedup ratio to the paper's "% over LRU" form.
+func SpeedupPercent(ratio float64) float64 { return (ratio - 1) * 100 }
+
+// Table accumulates rows and renders an aligned text table, the output
+// format of every experiment runner.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64s format as %.2f, everything else as %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sorted returns a copy of xs in ascending order (for Fig. 10-style
+// s-curves).
+func Sorted(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}
+
+// Pct formats a ratio as a +x.x% improvement string.
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", SpeedupPercent(ratio))
+}

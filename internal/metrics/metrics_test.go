@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Fatalf("GeoMean with non-positive value = %v, want 0", got)
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 && x > 1e-100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		gm := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return gm >= lo-1e-9*lo && gm <= hi+1e-9*hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	if got := WeightedSpeedup([]float64{2, 2}, []float64{1, 2}); got != 1.5 {
+		t.Fatalf("WS = %v, want 1.5", got)
+	}
+	if got := WeightedSpeedup([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Fatal("mismatched lengths should return 0")
+	}
+	if got := WeightedSpeedup([]float64{1}, []float64{0}); got != 0 {
+		t.Fatal("zero baseline should return 0")
+	}
+	// Identical runs: exactly 1.0.
+	if got := WeightedSpeedup([]float64{0.5, 0.25}, []float64{0.5, 0.25}); got != 1 {
+		t.Fatalf("identity WS = %v, want 1", got)
+	}
+}
+
+func TestSpeedupPercent(t *testing.T) {
+	if got := SpeedupPercent(1.1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("SpeedupPercent(1.1) = %v, want 10", got)
+	}
+	if Pct(1.05) != "+5.0%" {
+		t.Fatalf("Pct = %q", Pct(1.05))
+	}
+	if Pct(0.95) != "-5.0%" {
+		t.Fatalf("Pct = %q", Pct(0.95))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	tab.AddRow("gamma", "3", "overflow-dropped")
+	s := tab.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "2.50") {
+		t.Fatalf("table output missing content:\n%s", s)
+	}
+	if strings.Contains(s, "overflow-dropped") {
+		t.Fatal("overflow cell should have been dropped")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // header, separator, 3 rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+	// All lines align to the same width per column: check the header
+	// separator is at least as wide as the header labels.
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Fatalf("separator line malformed: %q", lines[1])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("1", "2")
+	csv := tab.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := Sorted(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("Sorted = %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("Sorted must not mutate its input")
+	}
+}

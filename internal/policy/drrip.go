@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// DRRIP implements Dynamic RRIP (Jaleel et al., ISCA 2010): set dueling
+// between SRRIP insertion (RRPV max-1) and Bimodal RRIP insertion (BRRIP:
+// RRPV max most of the time, max-1 with low probability), picking whichever
+// misses less in its leader sets. Included as additional baseline
+// infrastructure alongside SRRIP and PACMan.
+type DRRIP struct {
+	maxRRPV uint8
+	rrpv    [][]uint8
+
+	leaderS []bool
+	leaderB []bool
+	psel    int
+	pselMax int
+
+	// brripCtr implements BRRIP's 1-in-32 near insertion deterministically.
+	brripCtr uint32
+}
+
+// NewDRRIP builds a DRRIP policy for the given LLC geometry.
+func NewDRRIP(sets, ways int) *DRRIP {
+	d := &DRRIP{
+		maxRRPV: 3,
+		rrpv:    make([][]uint8, sets),
+		leaderS: make([]bool, sets),
+		leaderB: make([]bool, sets),
+		pselMax: 1 << 10,
+		psel:    1 << 9,
+	}
+	for s := 0; s < sets; s++ {
+		d.rrpv[s] = make([]uint8, ways)
+	}
+	leaders := 32
+	if sets < 64 {
+		leaders = sets / 2
+	}
+	for i := 0; i < leaders; i++ {
+		sIdx := int(mem.Mix64(uint64(i)*7+3) % uint64(sets))
+		bIdx := int(mem.Mix64(uint64(i)*7+4) % uint64(sets))
+		d.leaderS[sIdx] = true
+		if !d.leaderS[bIdx] {
+			d.leaderB[bIdx] = true
+		}
+	}
+	return d
+}
+
+// Name implements cache.Policy.
+func (*DRRIP) Name() string { return "DRRIP" }
+
+// useBRRIP reports whether the set inserts bimodally.
+func (d *DRRIP) useBRRIP(set int) bool {
+	switch {
+	case d.leaderS[set]:
+		return false
+	case d.leaderB[set]:
+		return true
+	default:
+		return d.psel < d.pselMax/2
+	}
+}
+
+// Victim implements cache.Policy.
+func (d *DRRIP) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
+	if acc.Type.IsDemand() {
+		if d.leaderS[set] && d.psel < d.pselMax {
+			d.psel++
+		} else if d.leaderB[set] && d.psel > 0 {
+			d.psel--
+		}
+	}
+	if w := invalidWay(blocks); w >= 0 {
+		return w, false
+	}
+	r := d.rrpv[set]
+	for {
+		for w := range r {
+			if r[w] >= d.maxRRPV {
+				return w, false
+			}
+		}
+		for w := range r {
+			r[w]++
+		}
+	}
+}
+
+// OnHit implements cache.Policy.
+func (d *DRRIP) OnHit(set, way int, _ []cache.Block, _ mem.Access) {
+	d.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy.
+func (d *DRRIP) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
+	if d.useBRRIP(set) {
+		d.brripCtr++
+		if d.brripCtr%32 == 0 {
+			d.rrpv[set][way] = d.maxRRPV - 1
+		} else {
+			d.rrpv[set][way] = d.maxRRPV
+		}
+		return
+	}
+	d.rrpv[set][way] = d.maxRRPV - 1
+}
+
+// OnEvict implements cache.Policy.
+func (d *DRRIP) OnEvict(set, way int, _ []cache.Block) {
+	d.rrpv[set][way] = d.maxRRPV
+}

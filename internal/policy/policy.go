@@ -1,0 +1,173 @@
+// Package policy implements the LLC management schemes the CHROME paper
+// compares against: LRU (the baseline), SRRIP (shared infrastructure),
+// Hawkeye, Glider, Mockingjay, CARE, and SHiP++ (extension). Each policy
+// satisfies the cache.Policy interface; CHROME itself lives in
+// internal/chrome and plugs into the same interface.
+package policy
+
+import (
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// invalidWay returns the first invalid way, or -1 when the set is full.
+func invalidWay(blocks []cache.Block) int {
+	for w := range blocks {
+		if !blocks[w].Valid {
+			return w
+		}
+	}
+	return -1
+}
+
+// lruWay returns the way with the oldest LastTouch among valid ways.
+func lruWay(blocks []cache.Block) int {
+	best, bestTouch := 0, ^uint64(0)
+	for w := range blocks {
+		if blocks[w].LastTouch < bestTouch {
+			best, bestTouch = w, blocks[w].LastTouch
+		}
+	}
+	return best
+}
+
+// Signature folds a PC, a prefetch flag, and a core id into the hashed PC
+// signature used by the prediction-based policies. Folding the prefetch bit
+// lets a policy learn demand and prefetch behaviour of the same load
+// independently (paper §IV-A); folding the core id disambiguates cores in a
+// shared LLC.
+func Signature(pc uint64, isPrefetch bool, core int, bits uint) uint64 {
+	x := pc*2 + 1
+	if isPrefetch {
+		x ^= 0xABCD_EF01_2345_6789
+	}
+	x ^= uint64(core) << 56
+	return mem.FoldHash(x, bits)
+}
+
+// Sampler deterministically designates a fixed number of sampled sets and
+// maps each to a dense sample index. With fewer total sets than the target,
+// every set is sampled.
+type Sampler struct {
+	groupSize int // sets per sample group
+	count     int // number of sampled sets
+}
+
+// NewSampler builds a sampler selecting `want` sets out of `sets`.
+func NewSampler(sets, want int) Sampler {
+	if want <= 0 {
+		want = 64
+	}
+	if sets <= want {
+		return Sampler{groupSize: 1, count: sets}
+	}
+	return Sampler{groupSize: sets / want, count: want}
+}
+
+// Count returns the number of sampled sets.
+func (s Sampler) Count() int { return s.count }
+
+// Index returns the dense sample index of the set, or -1 if not sampled.
+// Exactly one set per group is sampled, at a mixed (pseudo-random but
+// deterministic) offset, so samples spread across the index space.
+func (s Sampler) Index(set int) int {
+	if s.groupSize == 1 {
+		if set < s.count {
+			return set
+		}
+		return -1
+	}
+	group := set / s.groupSize
+	if group >= s.count {
+		return -1
+	}
+	offset := int(mem.Mix64(uint64(group)*0x9e3779b9+12345) % uint64(s.groupSize))
+	if set%s.groupSize == offset {
+		return group
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+
+// LRU is the classic least-recently-used baseline: evict the way with the
+// oldest touch; never bypass.
+type LRU struct{}
+
+// NewLRU builds the LRU baseline policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements cache.Policy.
+func (*LRU) Name() string { return "LRU" }
+
+// Victim implements cache.Policy.
+func (*LRU) Victim(_ int, blocks []cache.Block, _ mem.Access) (int, bool) {
+	if w := invalidWay(blocks); w >= 0 {
+		return w, false
+	}
+	return lruWay(blocks), false
+}
+
+// OnHit implements cache.Policy (recency is tracked by the cache itself).
+func (*LRU) OnHit(int, int, []cache.Block, mem.Access) {}
+
+// OnFill implements cache.Policy.
+func (*LRU) OnFill(int, int, []cache.Block, mem.Access) {}
+
+// OnEvict implements cache.Policy.
+func (*LRU) OnEvict(int, int, []cache.Block) {}
+
+// ---------------------------------------------------------------------------
+// SRRIP
+
+// SRRIP implements static re-reference interval prediction (Jaleel et al.,
+// ISCA 2010) with maxRRPV=3: insert at 2, promote to 0 on hit, evict the
+// first way at 3 (aging all ways until one reaches 3).
+type SRRIP struct {
+	rrpv    [][]uint8
+	maxRRPV uint8
+}
+
+// NewSRRIP builds an SRRIP policy for the given geometry.
+func NewSRRIP(sets, ways int) *SRRIP {
+	p := &SRRIP{maxRRPV: 3, rrpv: make([][]uint8, sets)}
+	for i := range p.rrpv {
+		p.rrpv[i] = make([]uint8, ways)
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (*SRRIP) Name() string { return "SRRIP" }
+
+// Victim implements cache.Policy.
+func (p *SRRIP) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) {
+	if w := invalidWay(blocks); w >= 0 {
+		return w, false
+	}
+	r := p.rrpv[set]
+	for {
+		for w := range r {
+			if r[w] >= p.maxRRPV {
+				return w, false
+			}
+		}
+		for w := range r {
+			r[w]++
+		}
+	}
+}
+
+// OnHit implements cache.Policy.
+func (p *SRRIP) OnHit(set, way int, _ []cache.Block, _ mem.Access) {
+	p.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy.
+func (p *SRRIP) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
+	p.rrpv[set][way] = p.maxRRPV - 1
+}
+
+// OnEvict implements cache.Policy.
+func (*SRRIP) OnEvict(int, int, []cache.Block) {}

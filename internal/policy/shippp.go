@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// SHiPPP implements SHiP++ (Young et al., CRC-2 2017): SHiP's
+// signature-based hit prediction refined with first-re-reference-only
+// training and prefetch-aware insertion. Included as an extension baseline
+// (paper §VIII discusses it as related work).
+type SHiPPP struct {
+	sampler   Sampler
+	shct      []uint8
+	maxRRPV   uint8
+	rrpv      [][]uint8
+	lineSig   [][]uint64
+	lineReref [][]bool
+	sampled   []bool
+}
+
+const shipTableBits = 14
+
+// NewSHiPPP builds a SHiP++ policy for the given LLC geometry.
+func NewSHiPPP(sets, ways, sampled int) *SHiPPP {
+	p := &SHiPPP{
+		sampler:   NewSampler(sets, sampled),
+		shct:      make([]uint8, 1<<shipTableBits),
+		maxRRPV:   3,
+		rrpv:      make([][]uint8, sets),
+		lineSig:   make([][]uint64, sets),
+		lineReref: make([][]bool, sets),
+		sampled:   make([]bool, sets),
+	}
+	for i := range p.shct {
+		p.shct[i] = 2
+	}
+	for s := 0; s < sets; s++ {
+		p.rrpv[s] = make([]uint8, ways)
+		p.lineSig[s] = make([]uint64, ways)
+		p.lineReref[s] = make([]bool, ways)
+		p.sampled[s] = p.sampler.Index(s) >= 0
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (*SHiPPP) Name() string { return "SHiP++" }
+
+func (p *SHiPPP) sig(acc mem.Access) uint64 {
+	return Signature(acc.PC, acc.IsPrefetch(), acc.Core, shipTableBits)
+}
+
+// Victim implements cache.Policy.
+func (p *SHiPPP) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) {
+	if w := invalidWay(blocks); w >= 0 {
+		return w, false
+	}
+	r := p.rrpv[set]
+	for {
+		for w := range r {
+			if r[w] >= p.maxRRPV {
+				return w, false
+			}
+		}
+		for w := range r {
+			r[w]++
+		}
+	}
+}
+
+// OnHit implements cache.Policy: SHiP++ trains only on the first
+// re-reference and promotes demand hits to MRU.
+func (p *SHiPPP) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+	if p.sampled[set] && !p.lineReref[set][way] {
+		p.lineReref[set][way] = true
+		s := p.lineSig[set][way]
+		if p.shct[s] < 7 {
+			p.shct[s]++
+		}
+	}
+	if acc.IsPrefetch() {
+		// Prefetch hits do not promote (they carry no demand-reuse signal).
+		return
+	}
+	p.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy: prefetch fills insert at distant RRPV
+// unless their signature is strongly predicted to be reused.
+func (p *SHiPPP) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
+	s := p.sig(acc)
+	var r uint8
+	switch {
+	case p.shct[s] == 0:
+		r = p.maxRRPV
+	case acc.IsPrefetch() && p.shct[s] < 6:
+		r = p.maxRRPV
+	case p.shct[s] >= 6:
+		r = 0
+	default:
+		r = p.maxRRPV - 1
+	}
+	p.rrpv[set][way] = r
+	p.lineSig[set][way] = s
+	p.lineReref[set][way] = false
+}
+
+// OnEvict implements cache.Policy.
+func (p *SHiPPP) OnEvict(set, way int, _ []cache.Block) {
+	if p.sampled[set] && !p.lineReref[set][way] {
+		s := p.lineSig[set][way]
+		if p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+	p.rrpv[set][way] = p.maxRRPV
+	p.lineReref[set][way] = false
+	p.lineSig[set][way] = 0
+}

@@ -1,0 +1,284 @@
+// Package prefetch implements the hardware data prefetchers used in the
+// CHROME paper's configurations: next-line (L1), PC-based stride (L1/L2),
+// streamer (L2), and an IPCP-style classifying prefetcher (DPC-3 winner),
+// plus a no-op prefetcher. Prefetchers observe demand accesses at their
+// level and emit candidate block addresses.
+package prefetch
+
+import "chrome/internal/mem"
+
+// Prefetcher observes demand traffic at one cache level and proposes
+// prefetch addresses.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// Train observes one demand access (hit or miss) and appends candidate
+	// prefetch block addresses to buf, returning the extended slice.
+	Train(acc mem.Access, hit bool, buf []mem.Addr) []mem.Addr
+}
+
+// None is a prefetcher that never prefetches.
+type None struct{}
+
+// NewNone builds the no-op prefetcher.
+func NewNone() None { return None{} }
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// Train implements Prefetcher.
+func (None) Train(_ mem.Access, _ bool, buf []mem.Addr) []mem.Addr { return buf }
+
+// ---------------------------------------------------------------------------
+// Next-line
+
+// NextLine prefetches the next sequential block on every demand access
+// (the CRC-2 default L1 prefetcher).
+type NextLine struct{ degree int }
+
+// NewNextLine builds a next-line prefetcher with the given degree
+// (number of sequential blocks ahead; 0 selects 1).
+func NewNextLine(degree int) *NextLine {
+	if degree <= 0 {
+		degree = 1
+	}
+	return &NextLine{degree: degree}
+}
+
+// Name implements Prefetcher.
+func (*NextLine) Name() string { return "next-line" }
+
+// Train implements Prefetcher.
+func (p *NextLine) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
+	base := acc.Addr.BlockAddr()
+	for i := 1; i <= p.degree; i++ {
+		buf = append(buf, base+mem.Addr(i*mem.BlockSize))
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// PC-based stride
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr mem.Addr
+	stride   int64
+	conf     uint8
+	valid    bool
+}
+
+// Stride is the classic PC-indexed stride prefetcher (Fu & Patel): it
+// learns a per-PC stride with a confidence counter and issues degree
+// prefetches once confident.
+type Stride struct {
+	table  []strideEntry
+	bits   uint
+	degree int
+}
+
+// NewStride builds a stride prefetcher (256-entry table).
+func NewStride(degree int) *Stride {
+	if degree <= 0 {
+		degree = 2
+	}
+	return &Stride{table: make([]strideEntry, 256), bits: 8, degree: degree}
+}
+
+// Name implements Prefetcher.
+func (*Stride) Name() string { return "stride" }
+
+// Train implements Prefetcher.
+func (p *Stride) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
+	idx := mem.FoldHash(acc.PC, p.bits)
+	e := &p.table[idx]
+	if !e.valid || e.pc != acc.PC {
+		*e = strideEntry{pc: acc.PC, lastAddr: acc.Addr, valid: true}
+		return buf
+	}
+	stride := int64(acc.Addr) - int64(e.lastAddr)
+	if stride == 0 {
+		return buf
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = stride
+		}
+	}
+	e.lastAddr = acc.Addr
+	if e.conf >= 2 && e.stride != 0 {
+		for i := 1; i <= p.degree; i++ {
+			target := int64(acc.Addr) + int64(i)*e.stride
+			if target > 0 {
+				buf = append(buf, mem.Addr(target).BlockAddr())
+			}
+		}
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Streamer
+
+type streamEntry struct {
+	page      uint64
+	lastBlock int64 // block offset within page
+	direction int8
+	conf      uint8
+	valid     bool
+}
+
+// Streamer is a page-granular stream prefetcher (Chen & Baer style, the L2
+// streamer of commercial Intel parts): it detects a monotonic direction of
+// accesses within a page and runs ahead by several blocks.
+type Streamer struct {
+	table  []streamEntry
+	degree int
+}
+
+// NewStreamer builds a streamer with a 64-stream tracking table.
+func NewStreamer(degree int) *Streamer {
+	if degree <= 0 {
+		degree = 4
+	}
+	return &Streamer{table: make([]streamEntry, 64), degree: degree}
+}
+
+// Name implements Prefetcher.
+func (*Streamer) Name() string { return "streamer" }
+
+// Train implements Prefetcher.
+func (p *Streamer) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
+	page := acc.Addr.PageNumber()
+	blk := int64(acc.Addr.PageOffset() >> mem.BlockShift)
+	idx := mem.FoldHash(page, 6)
+	e := &p.table[idx]
+	if !e.valid || e.page != page {
+		*e = streamEntry{page: page, lastBlock: blk, valid: true}
+		return buf
+	}
+	var dir int8
+	switch {
+	case blk > e.lastBlock:
+		dir = 1
+	case blk < e.lastBlock:
+		dir = -1
+	default:
+		return buf
+	}
+	if dir == e.direction {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.direction = dir
+		e.conf = 1
+	}
+	e.lastBlock = blk
+	if e.conf >= 2 {
+		pageBase := mem.Addr(page << mem.PageShift)
+		for i := 1; i <= p.degree; i++ {
+			t := blk + int64(i)*int64(e.direction)
+			if t >= 0 && t < mem.PageSize/mem.BlockSize {
+				buf = append(buf, pageBase+mem.Addr(t<<mem.BlockShift))
+			}
+		}
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// IPCP
+
+type ipcpEntry struct {
+	pc       uint64
+	lastAddr mem.Addr
+	stride   int64
+	strideOK uint8 // constant-stride confidence
+	sig      uint8 // delta signature for the complex class
+	valid    bool
+}
+
+// IPCP is a simplified Instruction Pointer Classifier-based Prefetcher
+// (Pakalapati & Panda, ISCA 2020; DPC-3 winner): each PC is classified as
+// constant-stride (CS), complex (CPLX, via a delta signature prediction
+// table), or falls back to a global-stream (GS) next-line behaviour.
+type IPCP struct {
+	ipt    []ipcpEntry // instruction pointer table
+	cspt   []int8      // complex-stride prediction table: sig -> delta
+	degree int
+}
+
+// NewIPCP builds an IPCP prefetcher.
+func NewIPCP(degree int) *IPCP {
+	if degree <= 0 {
+		degree = 3
+	}
+	return &IPCP{
+		ipt:    make([]ipcpEntry, 512),
+		cspt:   make([]int8, 256),
+		degree: degree,
+	}
+}
+
+// Name implements Prefetcher.
+func (*IPCP) Name() string { return "ipcp" }
+
+// Train implements Prefetcher.
+func (p *IPCP) Train(acc mem.Access, hit bool, buf []mem.Addr) []mem.Addr {
+	idx := mem.FoldHash(acc.PC, 9)
+	e := &p.ipt[idx]
+	if !e.valid || e.pc != acc.PC {
+		*e = ipcpEntry{pc: acc.PC, lastAddr: acc.Addr, valid: true}
+		return buf
+	}
+	deltaBlocks := (int64(acc.Addr) >> mem.BlockShift) - (int64(e.lastAddr) >> mem.BlockShift)
+	if deltaBlocks == 0 {
+		return buf
+	}
+	// Constant-stride classification.
+	if deltaBlocks == e.stride {
+		if e.strideOK < 3 {
+			e.strideOK++
+		}
+	} else {
+		if e.strideOK > 0 {
+			e.strideOK--
+		} else {
+			e.stride = deltaBlocks
+		}
+	}
+	// Complex class: learn delta succession in the CSPT.
+	if deltaBlocks >= -63 && deltaBlocks <= 63 {
+		p.cspt[e.sig] = int8(deltaBlocks)
+		e.sig = (e.sig << 3) ^ uint8(deltaBlocks&0x3f)
+	}
+	e.lastAddr = acc.Addr
+	base := acc.Addr.BlockAddr()
+	switch {
+	case e.strideOK >= 2 && e.stride != 0:
+		// CS class: run ahead along the stride.
+		for i := 1; i <= p.degree; i++ {
+			t := int64(base) + int64(i)*e.stride*mem.BlockSize
+			if t > 0 {
+				buf = append(buf, mem.Addr(t))
+			}
+		}
+	case p.cspt[e.sig] != 0:
+		// CPLX class: follow the predicted next delta once.
+		t := int64(base) + int64(p.cspt[e.sig])*mem.BlockSize
+		if t > 0 {
+			buf = append(buf, mem.Addr(t))
+		}
+	case !hit:
+		// GS fallback: next-line on misses only.
+		buf = append(buf, base+mem.BlockSize)
+	}
+	return buf
+}

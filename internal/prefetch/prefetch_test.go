@@ -1,0 +1,192 @@
+package prefetch
+
+import (
+	"testing"
+
+	"chrome/internal/mem"
+)
+
+func demand(pc uint64, addr mem.Addr) mem.Access {
+	return mem.Access{PC: pc, Addr: addr, Type: mem.Load}
+}
+
+func TestNone(t *testing.T) {
+	p := NewNone()
+	if got := p.Train(demand(1, 0x1000), false, nil); len(got) != 0 {
+		t.Fatalf("None prefetched %v", got)
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine(2)
+	got := p.Train(demand(1, 0x1010), true, nil)
+	if len(got) != 2 || got[0] != 0x1040 || got[1] != 0x1080 {
+		t.Fatalf("next-line candidates = %v, want [0x1040 0x1080]", got)
+	}
+	if NewNextLine(0).degree != 1 {
+		t.Fatal("degree default wrong")
+	}
+}
+
+func TestStrideLearnsAndPrefetches(t *testing.T) {
+	p := NewStride(2)
+	var got []mem.Addr
+	// Constant stride of 256 bytes from one PC.
+	for i := 0; i < 6; i++ {
+		got = p.Train(demand(0x400, mem.Addr(0x10000+i*256)), false, nil)
+	}
+	if len(got) != 2 {
+		t.Fatalf("confident stride should emit 2 candidates, got %v", got)
+	}
+	last := mem.Addr(0x10000 + 5*256)
+	if got[0] != (last + 256).BlockAddr() {
+		t.Fatalf("first candidate %#x, want %#x", uint64(got[0]), uint64((last + 256).BlockAddr()))
+	}
+}
+
+func TestStrideIgnoresRandomPattern(t *testing.T) {
+	p := NewStride(2)
+	var total int
+	for i := 0; i < 100; i++ {
+		addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 30))
+		total += len(p.Train(demand(0x400, addr), false, nil))
+	}
+	if total > 20 {
+		t.Fatalf("random pattern produced %d prefetches, want few", total)
+	}
+}
+
+func TestStrideZeroDeltaIgnored(t *testing.T) {
+	p := NewStride(2)
+	for i := 0; i < 10; i++ {
+		if got := p.Train(demand(0x400, 0x5000), false, nil); len(got) != 0 {
+			t.Fatalf("repeated same-address accesses must not prefetch, got %v", got)
+		}
+	}
+}
+
+func TestStreamerFollowsDirection(t *testing.T) {
+	p := NewStreamer(4)
+	var got []mem.Addr
+	base := mem.Addr(0x40000)
+	for i := 0; i < 5; i++ {
+		got = p.Train(demand(0x99, base+mem.Addr(i*64)), false, nil)
+	}
+	if len(got) == 0 {
+		t.Fatal("ascending stream not detected")
+	}
+	for _, c := range got {
+		if c <= base+4*64 {
+			t.Fatalf("candidate %#x not ahead of the stream", uint64(c))
+		}
+		if c.PageNumber() != base.PageNumber() {
+			t.Fatalf("streamer crossed a page boundary: %#x", uint64(c))
+		}
+	}
+}
+
+func TestStreamerDescending(t *testing.T) {
+	p := NewStreamer(2)
+	var got []mem.Addr
+	base := mem.Addr(0x40000 + 32*64)
+	for i := 0; i < 5; i++ {
+		got = p.Train(demand(0x99, base-mem.Addr(i*64)), false, nil)
+	}
+	if len(got) == 0 {
+		t.Fatal("descending stream not detected")
+	}
+	for _, c := range got {
+		if c >= base {
+			t.Fatalf("candidate %#x not behind the descending stream", uint64(c))
+		}
+	}
+}
+
+func TestIPCPConstantStride(t *testing.T) {
+	p := NewIPCP(3)
+	var got []mem.Addr
+	for i := 0; i < 8; i++ {
+		got = p.Train(demand(0x500, mem.Addr(0x80000+i*128)), true, nil)
+	}
+	if len(got) != 3 {
+		t.Fatalf("CS class should emit 3 candidates, got %v", got)
+	}
+	if got[0] != mem.Addr(0x80000+7*128+128).BlockAddr() {
+		t.Fatalf("first CS candidate %#x wrong", uint64(got[0]))
+	}
+}
+
+func TestIPCPNextLineFallbackOnMiss(t *testing.T) {
+	p := NewIPCP(2)
+	// Irregular big jumps: falls back to GS next-line on misses only.
+	p.Train(demand(0x600, 0x100000), false, nil)
+	got := p.Train(demand(0x600, 0x900000), false, nil)
+	// Delta too large for CPLX; not constant; expect GS fallback.
+	if len(got) != 1 || got[0] != mem.Addr(0x900000+64) {
+		t.Fatalf("GS fallback = %v, want next line", got)
+	}
+	got = p.Train(demand(0x600, 0x300000), true, nil)
+	for _, c := range got {
+		if c == 0x300040 {
+			t.Fatal("GS fallback must not fire on hits")
+		}
+	}
+}
+
+func TestPrefetchersAppendToBuffer(t *testing.T) {
+	p := NewNextLine(1)
+	buf := make([]mem.Addr, 1, 8)
+	buf[0] = 0xDEAD
+	got := p.Train(demand(1, 0x2000), false, buf)
+	if len(got) != 2 || got[0] != 0xDEAD {
+		t.Fatalf("Train must append, got %v", got)
+	}
+}
+
+func TestIPCPComplexClass(t *testing.T) {
+	p := NewIPCP(2)
+	// A repeating delta pattern (+2, +5, +2, +5 blocks) trains the CSPT so
+	// the CPLX class predicts the next delta once stride confidence fails.
+	deltas := []int64{2, 5, 2, 5, 2, 5, 2, 5, 2, 5}
+	addr := mem.Addr(0x200000)
+	var got []mem.Addr
+	for _, d := range deltas {
+		addr += mem.Addr(d * 64)
+		got = p.Train(demand(0x700, addr), true, nil)
+	}
+	if len(got) == 0 {
+		t.Fatal("CPLX class produced no prefetches for a repeating delta pattern")
+	}
+}
+
+func TestStrideNegativeTargetGuard(t *testing.T) {
+	p := NewStride(2)
+	// Establish a confident negative stride near address zero; candidates
+	// that would go below zero must be dropped.
+	addr := int64(5 * 4096)
+	var got []mem.Addr
+	for i := 0; i < 8; i++ {
+		got = p.Train(demand(0x400, mem.Addr(addr)), false, nil)
+		addr -= 4096
+	}
+	for _, c := range got {
+		if int64(c) < 0 {
+			t.Fatalf("negative prefetch target %#x", uint64(c))
+		}
+	}
+}
+
+func TestStreamerTableCollision(t *testing.T) {
+	// Two pages hashing to different entries keep independent streams.
+	p := NewStreamer(2)
+	a := mem.Addr(0x100000)
+	b := mem.Addr(0x900000)
+	for i := 0; i < 4; i++ {
+		p.Train(demand(1, a+mem.Addr(i*64)), false, nil)
+		p.Train(demand(1, b+mem.Addr(i*64)), false, nil)
+	}
+	gotA := p.Train(demand(1, a+mem.Addr(4*64)), false, nil)
+	if len(gotA) == 0 {
+		t.Fatal("interleaved streams broke detection")
+	}
+}

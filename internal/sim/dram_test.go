@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chrome/internal/mem"
+)
+
+func TestDRAMRowHitVsMiss(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	cfg := DefaultDRAMConfig()
+	first := d.Access(0x0, 0, false)
+	if first != cfg.RowMiss+cfg.Burst {
+		t.Fatalf("cold access latency %d, want %d", first, cfg.RowMiss+cfg.Burst)
+	}
+	// Same row, same bank (block 32 -> channel 0, bank 0, row 0), idle
+	// channel: row hit.
+	second := d.Access(32*64, 10_000, false)
+	if second != cfg.RowHit+cfg.Burst {
+		t.Fatalf("row-hit latency %d, want %d", second, cfg.RowHit+cfg.Burst)
+	}
+}
+
+func TestDRAMBandwidthQueueing(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	// Flood one channel (block 0 and multiples of 2 share channel 0) in a
+	// single cycle window: later requests must see queueing delay.
+	var last uint64
+	for i := 0; i < 100; i++ {
+		addr := mem.Addr(i) * 2 * 64 // even block numbers -> channel 0
+		last = d.Access(addr, 0, false)
+	}
+	firstFree := d.Access(0x2000*64, 0, false)
+	if last <= firstFree/2 {
+		t.Fatalf("100th flooded access (%d) should be far slower than steady state", last)
+	}
+	if d.BusyWait() == 0 {
+		t.Fatal("queueing wait not accounted")
+	}
+}
+
+func TestDRAMBacklogDrains(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	for i := 0; i < 100; i++ {
+		d.Access(mem.Addr(i)*2*64, 0, false)
+	}
+	// Long after the burst, the channel must be idle again.
+	lat := d.Access(0x40, 1_000_000, false)
+	cfg := DefaultDRAMConfig()
+	if lat > cfg.RowMiss+cfg.Burst {
+		t.Fatalf("latency %d after drain, want unloaded %d", lat, cfg.RowMiss+cfg.Burst)
+	}
+}
+
+func TestDRAMCountsReadsAndWrites(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	d.Access(0x0, 0, false)
+	d.Access(0x40, 0, true)
+	d.Access(0x80, 0, true)
+	if d.Reads() != 1 || d.Writes() != 2 {
+		t.Fatalf("reads=%d writes=%d, want 1/2", d.Reads(), d.Writes())
+	}
+}
+
+func TestDRAMAvgLatencyPositive(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	if d.AvgLatency() <= 0 {
+		t.Fatal("average latency must be positive")
+	}
+}
+
+func TestDRAMValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero channels")
+		}
+	}()
+	NewDRAM(DRAMConfig{Channels: 0, BanksPerChannel: 4})
+}
+
+// Property: DRAM latency is always at least the unloaded row-hit latency
+// and monotone under increasing same-cycle load.
+func TestDRAMLatencyLowerBound(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	f := func(addrs []uint16, cycleSeed uint16) bool {
+		d := NewDRAM(cfg)
+		cycle := uint64(cycleSeed)
+		for _, a := range addrs {
+			lat := d.Access(mem.Addr(a)<<6, cycle, false)
+			if lat < cfg.RowHit+cfg.Burst {
+				return false
+			}
+			cycle += 3
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRBacklog(t *testing.T) {
+	m := newMSHR(2)
+	if got := m.acquire(100); got != 100 {
+		t.Fatalf("empty MSHR delayed acquisition to %d", got)
+	}
+	m.commit(200)
+	m.commit(300)
+	// Full at cycle 150: must wait for the earliest completion (200).
+	if got := m.acquire(150); got != 200 {
+		t.Fatalf("full MSHR acquire = %d, want 200", got)
+	}
+	if m.stalls == 0 {
+		t.Fatal("stall not recorded")
+	}
+	// After both complete, no delay.
+	if got := m.acquire(500); got != 500 {
+		t.Fatalf("drained MSHR acquire = %d, want 500", got)
+	}
+}
+
+func TestMSHRPrunesCompleted(t *testing.T) {
+	m := newMSHR(1)
+	m.commit(50)
+	if got := m.acquire(60); got != 60 {
+		t.Fatalf("completed entry not pruned: acquire = %d", got)
+	}
+}
+
+func TestMSHRValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive MSHR size")
+		}
+	}()
+	newMSHR(0)
+}
+
+// Property: acquire never returns a cycle earlier than requested, and with
+// k < cap outstanding entries there is never a delay.
+func TestMSHRAcquireMonotone(t *testing.T) {
+	f := func(completions []uint16, start uint16) bool {
+		m := newMSHR(4)
+		for i, c := range completions {
+			if i >= 3 {
+				break
+			}
+			m.commit(uint64(c))
+		}
+		got := m.acquire(uint64(start))
+		return got == uint64(start)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

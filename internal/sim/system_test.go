@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"chrome/internal/cache"
+	"chrome/internal/chrome"
+	"chrome/internal/policy"
+	"chrome/internal/prefetch"
+	"chrome/internal/trace"
+	"chrome/internal/workload"
+)
+
+func lruFactory(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return policy.NewLRU()
+}
+
+func chromeFactory(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+	cfg := chrome.DefaultConfig()
+	cfg.SampledSets = 256 // scaled sampling density for short test runs
+	a := chrome.New(cfg, sets, ways)
+	a.Obstructed = obstructed
+	return a
+}
+
+func TestSingleCoreLRURun(t *testing.T) {
+	p, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(ScaledConfig(1), []trace.Generator{p.New(0)}, lruFactory)
+	res := sys.Run(10_000, 50_000)
+	if res.IPC[0] <= 0 {
+		t.Fatalf("IPC = %v, want > 0", res.IPC[0])
+	}
+	if res.IPC[0] > 6 {
+		t.Fatalf("IPC = %v exceeds the commit width", res.IPC[0])
+	}
+	// Phase boundaries land on trace-record edges, so the window may
+	// undershoot by up to one record's instruction group.
+	if res.Instructions[0] < 49_900 {
+		t.Fatalf("measured %d instructions, want ~50000", res.Instructions[0])
+	}
+	if mpki := res.MPKI(); mpki <= 1 {
+		t.Fatalf("mcf MPKI = %v, want > 1 (memory-intensive selection criterion)", mpki)
+	}
+	t.Logf("mcf 1-core LRU: IPC=%.3f MPKI=%.1f missRatio=%.2f", res.IPC[0], res.MPKI(), res.LLC.DemandMissRatio())
+}
+
+func TestMultiCoreCHROMERunsAndBypasses(t *testing.T) {
+	p, err := workload.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScaledConfig(4)
+	cfg.L1Prefetcher = func() prefetch.Prefetcher { return prefetch.NewNextLine(1) }
+	cfg.L2Prefetcher = func() prefetch.Prefetcher { return prefetch.NewStride(2) }
+	sys := New(cfg, workload.HomogeneousMix(p, 4), chromeFactory)
+	res := sys.Run(20_000, 160_000)
+	for i, ipc := range res.IPC {
+		if ipc <= 0 {
+			t.Fatalf("core %d IPC = %v, want > 0", i, ipc)
+		}
+	}
+	if res.LLC.PrefetchFills == 0 {
+		t.Fatal("expected prefetch fills at the LLC with prefetching enabled")
+	}
+	ag, ok := sys.LLC().Policy().(*chrome.Agent)
+	if !ok {
+		t.Fatal("LLC policy is not the CHROME agent")
+	}
+	st := ag.Stats()
+	if st.Decisions == 0 {
+		t.Fatal("CHROME made no decisions")
+	}
+	if ag.QTable().Updates() == 0 {
+		t.Fatal("CHROME performed no SARSA updates")
+	}
+	t.Logf("CHROME 4-core: decisions=%d bypasses=%d updates=%d upksa=%.0f",
+		st.Decisions, st.Bypasses, ag.QTable().Updates(), ag.UPKSA())
+}
+
+func TestCAMATMonitorRecordsActivity(t *testing.T) {
+	p, err := workload.ByName("milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(ScaledConfig(2), workload.HomogeneousMix(p, 2), lruFactory)
+	sys.Run(5_000, 20_000)
+	for core := 0; core < 2; core++ {
+		if c := sys.Monitor().CAMAT(core); c <= 0 {
+			t.Fatalf("core %d C-AMAT = %v, want > 0", core, c)
+		}
+	}
+}

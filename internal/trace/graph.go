@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"chrome/internal/mem"
+)
+
+// GraphKind selects the synthetic graph topology backing a GAP trace.
+type GraphKind uint8
+
+const (
+	// GraphUniform models the GAP "urand" dataset: uniform random edges,
+	// essentially no locality structure.
+	GraphUniform GraphKind = iota
+	// GraphPowerLaw models the GAP "twitter"/"orkut" datasets: skewed
+	// degree distribution, so a small hot vertex set absorbs most traffic.
+	GraphPowerLaw
+)
+
+// GraphKernel selects which GAP primitive's access pattern to emit.
+type GraphKernel uint8
+
+const (
+	// KernelBFS is breadth-first search (frontier-ordered traversal).
+	KernelBFS GraphKernel = iota
+	// KernelCC is connected components (label propagation sweeps).
+	KernelCC
+	// KernelPR is PageRank (full sequential sweeps with gathers).
+	KernelPR
+	// KernelSSSP is single-source shortest path (bucketed relaxations).
+	KernelSSSP
+	// KernelBC is betweenness centrality (BFS plus backward accumulation).
+	KernelBC
+)
+
+// String returns the GAP suite abbreviation for the kernel.
+func (k GraphKernel) String() string {
+	switch k {
+	case KernelBFS:
+		return "bfs"
+	case KernelCC:
+		return "cc"
+	case KernelPR:
+		return "pr"
+	case KernelSSSP:
+		return "sssp"
+	case KernelBC:
+		return "bc"
+	}
+	return "?"
+}
+
+// graph is a synthetic CSR graph: offsets into a flat neighbor array.
+type graph struct {
+	offsets   []uint32
+	neighbors []uint32
+	n         uint32
+}
+
+// buildGraph constructs a deterministic synthetic graph.
+func buildGraph(kind GraphKind, n uint32, avgDegree int, seed uint64) *graph {
+	r := rng(seed ^ 0x6a09e667)
+	g := &graph{n: n, offsets: make([]uint32, n+1)}
+	total := int(n) * avgDegree
+	g.neighbors = make([]uint32, 0, total)
+	for u := uint32(0); u < n; u++ {
+		deg := avgDegree
+		if kind == GraphPowerLaw {
+			// Skewed degrees: a few hubs with very high degree. The
+			// exponent-3 transform concentrates edges on low vertex ids.
+			x := r.Float64()
+			deg = 1 + int(float64(3*avgDegree)*x*x*x*4)
+			if deg > 16*avgDegree {
+				deg = 16 * avgDegree
+			}
+		} else {
+			deg = 1 + r.IntN(2*avgDegree)
+		}
+		g.offsets[u] = uint32(len(g.neighbors))
+		for i := 0; i < deg; i++ {
+			var v uint32
+			if kind == GraphPowerLaw {
+				// Destination skew: most edges point at hub vertices.
+				x := r.Float64()
+				v = uint32(float64(n) * x * x * x)
+			} else {
+				v = r.Uint32N(n)
+			}
+			if v >= n {
+				v = n - 1
+			}
+			g.neighbors = append(g.neighbors, v)
+		}
+	}
+	g.offsets[n] = uint32(len(g.neighbors))
+	return g
+}
+
+// degree returns the out-degree of u.
+func (g *graph) degree(u uint32) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Graph is a GAP-kernel trace generator over a synthetic graph. It emits
+// the characteristic CSR access pattern: mostly-sequential offset and
+// neighbor-array reads interleaved with irregular gathers/scatters into the
+// per-vertex property array.
+type Graph struct {
+	name   string
+	kernel GraphKernel
+	g      *graph
+	seed   uint64
+
+	offBase  mem.Addr
+	nbrBase  mem.Addr
+	propBase mem.Addr
+	prop2    mem.Addr // second property array (PR new-ranks, BC deps)
+
+	// iteration state
+	order   []uint32 // vertex visit order for the current sweep
+	orderIx int
+	u       uint32 // current vertex
+	ei      uint32 // current edge index within u's adjacency
+	eEnd    uint32
+	phase   int // 0 = read offsets, 1 = walk edges, 2 = vertex write
+	pcBase  uint64
+}
+
+// GraphConfig parameterizes a GAP trace generator.
+type GraphConfig struct {
+	Name      string
+	Kernel    GraphKernel
+	Kind      GraphKind
+	Region    uint64
+	Vertices  uint32 // default 1<<17
+	AvgDegree int    // default 12
+	Seed      uint64
+}
+
+// NewGraph builds a GAP-kernel generator. Graph construction is performed
+// eagerly and deterministically from the seed.
+func NewGraph(cfg GraphConfig) *Graph {
+	if cfg.Vertices == 0 {
+		cfg.Vertices = 1 << 17
+	}
+	if cfg.AvgDegree == 0 {
+		cfg.AvgDegree = 12
+	}
+	gr := buildGraph(cfg.Kind, cfg.Vertices, cfg.AvgDegree, cfg.Seed)
+	base := regionBase(cfg.Region)
+	offSize := uint64(len(gr.offsets)) * 4
+	nbrSize := uint64(len(gr.neighbors)) * 4
+	propSize := uint64(cfg.Vertices) * 8
+	g := &Graph{
+		name:     cfg.Name,
+		kernel:   cfg.Kernel,
+		g:        gr,
+		seed:     cfg.Seed,
+		offBase:  base,
+		nbrBase:  base + mem.Addr(align(offSize)),
+		propBase: base + mem.Addr(align(offSize)+align(nbrSize)),
+		pcBase:   0x800000 + cfg.Region*0x1000,
+	}
+	g.prop2 = g.propBase + mem.Addr(align(propSize))
+	g.Reset()
+	return g
+}
+
+func align(x uint64) uint64 {
+	const a = 1 << 20
+	return (x + a - 1) &^ (a - 1)
+}
+
+// buildOrder computes the vertex visit order for one sweep of the kernel.
+func (g *Graph) buildOrder() {
+	n := g.g.n
+	if cap(g.order) < int(n) {
+		g.order = make([]uint32, 0, n)
+	}
+	g.order = g.order[:0]
+	switch g.kernel {
+	case KernelPR, KernelCC:
+		// Full sequential sweeps over all vertices.
+		for u := uint32(0); u < n; u++ {
+			g.order = append(g.order, u)
+		}
+	case KernelBFS, KernelBC:
+		// Frontier-like order: a deterministic pseudo-BFS permutation that
+		// interleaves hub vertices early (hubs are low ids in our graphs).
+		for u := uint32(0); u < n; u++ {
+			g.order = append(g.order, uint32(mem.Mix64(uint64(u)+g.seed)%uint64(n)))
+		}
+	case KernelSSSP:
+		// Bucketed relaxation revisits ~30% of vertices a second time.
+		for u := uint32(0); u < n; u++ {
+			g.order = append(g.order, u)
+			if mem.Mix64(uint64(u)*3+g.seed)%10 < 3 {
+				g.order = append(g.order, uint32(mem.Mix64(uint64(u)+1)%uint64(n)))
+			}
+		}
+	}
+}
+
+// Next emits the next access of the kernel's CSR traversal.
+func (g *Graph) Next() Record {
+	switch g.phase {
+	case 0: // read offsets[u] (sequential-ish, high spatial locality)
+		if g.orderIx >= len(g.order) {
+			g.buildOrder()
+			g.orderIx = 0
+		}
+		g.u = g.order[g.orderIx] % g.g.n
+		g.orderIx++
+		g.ei = g.g.offsets[g.u]
+		g.eEnd = g.g.offsets[g.u+1]
+		g.phase = 1
+		return Record{
+			PC:   g.pcBase,
+			Addr: g.offBase + mem.Addr(uint64(g.u)*4),
+			Gap:  3,
+		}
+	case 1: // walk the adjacency list: neighbor read + property gather
+		if g.ei >= g.eEnd {
+			g.phase = 2
+			// vertex-result write (labels, ranks, distances)
+			return Record{
+				PC:    g.pcBase + 24,
+				Addr:  g.resultAddr(g.u),
+				Write: true,
+				Gap:   2,
+			}
+		}
+		v := g.g.neighbors[g.ei]
+		// Alternate between the sequential neighbor-array read and the
+		// irregular property gather it feeds.
+		if g.ei%2 == 0 {
+			g.ei++
+			return Record{
+				PC:   g.pcBase + 8,
+				Addr: g.nbrBase + mem.Addr(uint64(g.ei-1)*4),
+				Gap:  1,
+			}
+		}
+		g.ei++
+		return Record{
+			PC:        g.pcBase + 16,
+			Addr:      g.propBase + mem.Addr(uint64(v)*8),
+			Dependent: g.kernel == KernelSSSP || g.kernel == KernelBC,
+			Gap:       1,
+		}
+	default: // phase 2: back to the next vertex
+		g.phase = 0
+		return g.Next()
+	}
+}
+
+func (g *Graph) resultAddr(u uint32) mem.Addr {
+	if g.kernel == KernelPR || g.kernel == KernelBC {
+		return g.prop2 + mem.Addr(uint64(u)*8)
+	}
+	return g.propBase + mem.Addr(uint64(u)*8)
+}
+
+// Reset restarts the traversal from the first sweep.
+func (g *Graph) Reset() {
+	g.order = g.order[:0]
+	g.orderIx = 0
+	g.phase = 0
+	g.u, g.ei, g.eEnd = 0, 0, 0
+}
+
+// Name returns the configured name.
+func (g *Graph) Name() string { return g.name }

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"chrome/internal/mem"
+)
+
+// Binary trace format: a fixed 8-byte header ("CHTR" magic + version +
+// reserved bytes) followed by fixed-width 18-byte records (PC u64, Addr
+// u64, flags u8, gap u8). The format supports the ChampSim-style workflow
+// of capturing a synthetic trace once and replaying it from disk.
+
+var traceMagic = [4]byte{'C', 'H', 'T', 'R'}
+
+// traceVersion is the current format version.
+const traceVersion = 1
+
+const (
+	flagWrite     = 1 << 0
+	flagDependent = 1 << 1
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+// WriteTrace serializes records to w in the binary trace format.
+func WriteTrace(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	header := make([]byte, 8)
+	copy(header, traceMagic[:])
+	header[4] = traceVersion
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	buf := make([]byte, 18)
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint64(buf[0:], rec.PC)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(rec.Addr))
+		var flags byte
+		if rec.Write {
+			flags |= flagWrite
+		}
+		if rec.Dependent {
+			flags |= flagDependent
+		}
+		buf[16] = flags
+		buf[17] = rec.Gap
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a binary trace stream.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, 8)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if [4]byte(header[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, header[:4])
+	}
+	if header[4] != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, header[4])
+	}
+	var recs []Record
+	buf := make([]byte, 18)
+	for {
+		_, err := io.ReadFull(br, buf)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
+		}
+		recs = append(recs, Record{
+			PC:        binary.LittleEndian.Uint64(buf[0:]),
+			Addr:      mem.Addr(binary.LittleEndian.Uint64(buf[8:])),
+			Write:     buf[16]&flagWrite != 0,
+			Dependent: buf[16]&flagDependent != 0,
+			Gap:       buf[17],
+		})
+	}
+}
+
+// Capture drains n records from a generator into a slice (for WriteTrace).
+func Capture(g Generator, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = g.Next()
+	}
+	return recs
+}
+
+// Replay is a Generator that loops over a recorded window of records.
+type Replay struct {
+	name string
+	recs []Record
+	i    int
+}
+
+// NewReplay builds a looping generator over recorded records.
+func NewReplay(name string, recs []Record) *Replay {
+	if len(recs) == 0 {
+		panic("trace: NewReplay requires at least one record")
+	}
+	return &Replay{name: name, recs: recs}
+}
+
+// Next returns the next recorded record, wrapping at the end.
+func (r *Replay) Next() Record {
+	rec := r.recs[r.i]
+	r.i = (r.i + 1) % len(r.recs)
+	return rec
+}
+
+// Reset rewinds to the first record.
+func (r *Replay) Reset() { r.i = 0 }
+
+// Name returns the replay's name.
+func (r *Replay) Name() string { return r.name }

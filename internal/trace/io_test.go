@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"chrome/internal/mem"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewWorkingSet(WorkingSetConfig{Name: "w", Region: 1, Size: 1 << 20, Writes: 0.3, Seed: 9})
+	recs := Capture(g, 5000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRecords(recs, got) {
+		t.Fatal("round trip changed the records")
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint64, flags []uint8) bool {
+		var recs []Record
+		for i, pc := range pcs {
+			var fl uint8
+			if i < len(flags) {
+				fl = flags[i]
+			}
+			recs = append(recs, Record{
+				PC:        pc,
+				Addr:      mem.Addr(pc * 3),
+				Write:     fl&1 != 0,
+				Dependent: fl&2 != 0,
+				Gap:       fl >> 2,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		return sameRecords(recs, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		[]byte("XXXX0000"),
+		append([]byte("CHTR"), 99, 0, 0, 0), // bad version
+		append(append([]byte("CHTR"), 1, 0, 0, 0), 1, 2, 3), // truncated record
+	}
+	for i, data := range cases {
+		if _, err := ReadTrace(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: err = %v, want ErrBadTrace", i, err)
+		}
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace round trip: %v, %d records", err, len(got))
+	}
+}
+
+func TestReplayLoopsAndResets(t *testing.T) {
+	recs := []Record{{PC: 1}, {PC: 2}, {PC: 3}}
+	r := NewReplay("loop", recs)
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < 3; i++ {
+			if got := r.Next(); got.PC != recs[i].PC {
+				t.Fatalf("lap %d rec %d: PC %d, want %d", lap, i, got.PC, recs[i].PC)
+			}
+		}
+	}
+	r.Next()
+	r.Reset()
+	if r.Next().PC != 1 {
+		t.Fatal("Reset did not rewind the replay")
+	}
+}
+
+func TestReplayRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty replay")
+		}
+	}()
+	NewReplay("empty", nil)
+}

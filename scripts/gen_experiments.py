@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the recorded full-scale run logs.
+
+Usage: python3 scripts_gen_experiments.py part1.log part2.log > EXPERIMENTS.md
+(kept in-repo so the recorded document can be regenerated; cmd/experiments
+-md produces the same structure for single-log runs)."""
+import re
+import sys
+
+
+def parse(path):
+    blocks = {}
+    cur_id, cur = None, []
+    for line in open(path):
+        m = re.match(r"^== (\S+): (.*) ==$", line)
+        if m:
+            if cur_id:
+                blocks[cur_id] = "".join(cur).rstrip() + "\n"
+            cur_id, cur = m.group(1), [line]
+        elif line.startswith("(") and "completed in" in line:
+            if cur_id:
+                blocks[cur_id] = "".join(cur).rstrip() + "\n"
+                cur_id, cur = None, []
+        elif cur_id:
+            cur.append(line)
+    if cur_id:
+        blocks[cur_id] = "".join(cur).rstrip() + "\n"
+    return blocks
+
+
+def main():
+    blocks = {}
+    for path in sys.argv[1:]:
+        blocks.update(parse(path))
+    order = ["fig01", "fig02", "fig03a", "fig03b", "fig06", "fig07", "fig08",
+             "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+             "fig16a", "fig16b", "fig16c", "tab03", "tab04", "tab07",
+             "extA", "extB", "extC"]
+    for bid in order:
+        if bid not in blocks:
+            print(f"MISSING: {bid}", file=sys.stderr)
+            continue
+        body = blocks[bid]
+        title = body.splitlines()[0].strip("= ").split(": ", 1)[1]
+        print(f"## {bid} — {title}\n")
+        print("```")
+        print("\n".join(body.splitlines()[1:]).strip())
+        print("```\n")
+
+
+if __name__ == "__main__":
+    main()
