@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Scope restricts which packages a per-package analyzer inspects.
+type Scope int
+
+const (
+	// ScopeInternal covers every package under <module>/internal/.
+	ScopeInternal Scope = iota
+	// ScopeCore covers the simulator-state packages whose behaviour feeds
+	// reported results: internal/{sim,cache,policy,chrome} and below.
+	ScopeCore
+)
+
+// coreDirs are the ScopeCore package roots (relative to <module>/internal/).
+var coreDirs = []string{"sim", "cache", "policy", "chrome"}
+
+// inScope reports whether a package path falls under the scope.
+func inScope(s Scope, modPath, pkgPath string) bool {
+	rest, ok := strings.CutPrefix(pkgPath, modPath+"/internal/")
+	if !ok {
+		return false
+	}
+	if s == ScopeInternal {
+		return true
+	}
+	for _, d := range coreDirs {
+		if rest == d || strings.HasPrefix(rest, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is a per-package check.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Scope Scope
+	Run   func(*Pass) []Finding
+}
+
+// GlobalAnalyzer is a whole-program check that may load further packages.
+type GlobalAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(l *Loader, loaded []*Package) []Finding
+}
+
+// Pass hands one package to a per-package analyzer.
+type Pass struct {
+	L *Loader
+	P *Package
+}
+
+func (p *Pass) pos(at token.Pos) token.Position { return p.L.Fset.Position(at) }
+
+// Analyzers returns the per-package analyzer suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerMapRange(),
+		analyzerGlobalRand(),
+		analyzerWallTime(),
+		analyzerNarrowing(),
+		analyzerFloatEq(),
+	}
+}
+
+// GlobalAnalyzers returns the whole-program analyzer suite.
+func GlobalAnalyzers() []*GlobalAnalyzer {
+	return []*GlobalAnalyzer{
+		analyzerPolicyReg(),
+		analyzerFixtures(),
+	}
+}
+
+// RunAnalyzers applies the per-package suite to the loaded packages and the
+// global suite to the whole set, dropping findings suppressed by
+// "//chromevet:allow" comments, and returns the sorted findings.
+func RunAnalyzers(l *Loader, pkgs []*Package) []Finding {
+	var out []Finding
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			if !inScope(a.Scope, l.ModPath, p.Path) {
+				continue
+			}
+			out = append(out, filterAllowed(p, a.Name, a.Run(&Pass{L: l, P: p}))...)
+		}
+	}
+	for _, g := range GlobalAnalyzers() {
+		fs := g.Run(l, pkgs)
+		for _, f := range fs {
+			if p, ok := byPath[pathForFile(l, pkgs, f)]; ok && p.Allowed(f.Analyzer, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// pathForFile maps a finding back to its package (best effort, for allow
+// comments on global-analyzer findings).
+func pathForFile(l *Loader, pkgs []*Package, f Finding) string {
+	for _, p := range pkgs {
+		if strings.HasPrefix(f.Pos.Filename, p.Dir+string('/')) || f.Pos.Filename == p.Dir {
+			return p.Path
+		}
+	}
+	return ""
+}
+
+func filterAllowed(p *Package, analyzer string, fs []Finding) []Finding {
+	kept := fs[:0]
+	for _, f := range fs {
+		if p.Allowed(analyzer, f.Pos) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// SortFindings orders findings by file, line, column, analyzer.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

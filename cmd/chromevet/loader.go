@@ -1,0 +1,284 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus the side tables the
+// analyzers need (ASTs, type info, and per-line suppression comments).
+type Package struct {
+	Path  string // import path ("chrome/internal/cache")
+	Dir   string
+	Name  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// allow maps file -> line -> analyzer names suppressed on that line via
+	// "//chromevet:allow name[,name...]" comments (the comment's own line and
+	// the line below it, so both trailing and preceding placements work).
+	allow map[string]map[int]map[string]bool
+}
+
+// Allowed reports whether a finding of the named analyzer at pos is
+// suppressed by an allow comment.
+func (p *Package) Allowed(analyzer string, pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+// Loader parses and type-checks packages of one module without any tooling
+// outside the standard library. Imports inside the module are resolved by
+// path mapping; everything else goes through the source importer (which
+// type-checks the standard library from GOROOT source).
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // directory containing go.mod
+	ModPath string // module path ("chrome")
+	Tags    map[string]bool
+
+	std       types.Importer
+	overrides map[string]string // import path -> directory (fixture loading)
+	pkgs      map[string]*Package
+	loading   map[string]bool
+}
+
+// NewLoader builds a loader rooted at the module directory.
+func NewLoader(modRoot, modPath string) *Loader {
+	l := &Loader{
+		Fset:      token.NewFileSet(),
+		ModRoot:   modRoot,
+		ModPath:   modPath,
+		Tags:      defaultTags(),
+		overrides: map[string]string{},
+		pkgs:      map[string]*Package{},
+		loading:   map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l
+}
+
+// defaultTags returns the build tags considered satisfied when selecting
+// files: the host platform plus every released go1.N version. The simcheck
+// tag is deliberately absent — chromevet analyzes the default build.
+func defaultTags() map[string]bool {
+	tags := map[string]bool{
+		runtime.GOOS:   true,
+		runtime.GOARCH: true,
+		"unix":         true,
+		"gc":           true,
+	}
+	for i := 1; i <= 99; i++ {
+		tags[fmt.Sprintf("go1.%d", i)] = true
+	}
+	return tags
+}
+
+// Override maps an import path to a directory, shadowing the module layout.
+// Used by the fixture driver to load testdata packages under realistic
+// import paths.
+func (l *Loader) Override(path, dir string) { l.overrides[path] = dir }
+
+// dirFor resolves an import path inside the module to a directory.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if dir, ok := l.overrides[path]; ok {
+		return dir, true
+	}
+	if path == l.ModPath {
+		return l.ModRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer for the type-checker.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package at the import path (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("%s is outside module %s", path, l.ModPath)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		Path:  path,
+		Dir:   dir,
+		Name:  pkg.Name(),
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		allow: map[string]map[int]map[string]bool{},
+	}
+	l.collectAllows(p)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory, in
+// filename order (os.ReadDir sorts by name).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !l.fileIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// fileIncluded evaluates a //go:build constraint (if any) against the
+// loader's tag set. Only header lines before the package clause count.
+func (l *Loader) fileIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			continue
+		}
+		return expr.Eval(func(tag string) bool { return l.Tags[tag] })
+	}
+	return true
+}
+
+// collectAllows indexes "//chromevet:allow name[,name...]" comments.
+func (l *Loader) collectAllows(p *Package) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "chromevet:allow")
+				if !ok {
+					continue
+				}
+				rest, _, _ = strings.Cut(rest, "--") // strip justification
+
+				pos := l.Fset.Position(c.Pos())
+				byLine := p.allow[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					p.allow[pos.Filename] = byLine
+				}
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if byLine[ln] == nil {
+							byLine[ln] = map[string]bool{}
+						}
+						byLine[ln][name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if mod, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(mod), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,182 @@
+// Command chromevet is the project-specific static-analysis suite of the
+// CHROME simulator repository. It is built from the standard library only
+// (go/parser + go/types + the source importer) and enforces invariants `go
+// vet` cannot know about:
+//
+//   - determinism: no map-iteration order reaching simulator state or
+//     results (maprange), no global math/rand source (globalrand), no
+//     wall-clock reads (walltime) in internal packages;
+//   - numeric safety: no unguarded narrowing of uint64 cycle/address
+//     counters (narrowing), no exact float equality (floateq);
+//   - structure: every concrete cache.Policy is reachable from the
+//     experiment scheme registry (policyreg), and every analyzer has a
+//     testdata fixture (fixtures).
+//
+// Findings can be suppressed line-by-line with a justification comment:
+//
+//	//chromevet:allow narrowing -- value clamped to maxRD above
+//
+// Usage: go run ./cmd/chromevet ./...
+// Exit status is 1 when any finding is reported, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chromevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "list analyzed packages")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "chromevet:", err)
+		return 2
+	}
+	modRoot, modPath, err := FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "chromevet:", err)
+		return 2
+	}
+	loader := NewLoader(modRoot, modPath)
+
+	paths, err := expandPatterns(modRoot, modPath, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "chromevet:", err)
+		return 2
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "chromevet: %v\n", err)
+			return 2
+		}
+		if *verbose {
+			fmt.Fprintf(stdout, "chromevet: analyzing %s\n", path)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	findings := RunAnalyzers(loader, pkgs)
+	for _, f := range findings {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stdout, "chromevet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns resolves go-style package patterns ("./...", "./internal/cache")
+// relative to cwd into module import paths, skipping testdata, vendor, and
+// hidden directories.
+func expandPatterns(modRoot, modPath, cwd string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) error {
+		path, err := importPathFor(modRoot, modPath, dir)
+		if err != nil {
+			return err
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(cwd, root)
+		}
+		if !recursive {
+			if err := add(root); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasBuildableGoFiles(path) {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasBuildableGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+func importPathFor(modRoot, modPath, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, modPath)
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}

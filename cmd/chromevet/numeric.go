@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// narrowTargets are the basic kinds a uint64 may not be silently converted
+// to: every one either truncates high bits (int on 32-bit platforms, the
+// sub-64-bit integers) or loses precision (float32 above 2^24). Cycle and
+// address counters in this simulator are uint64 end to end; a silent
+// truncation corrupts results without failing any assertion.
+var narrowTargets = map[types.BasicKind]string{
+	types.Int:     "int",
+	types.Int32:   "int32",
+	types.Int16:   "int16",
+	types.Int8:    "int8",
+	types.Uint32:  "uint32",
+	types.Uint16:  "uint16",
+	types.Uint8:   "uint8",
+	types.Float32: "float32",
+}
+
+// analyzerNarrowing flags conversions of uint64-typed expressions (cycle
+// counts, addresses, hashes) to narrower types unless the operand is
+// provably bounded: a top-level mask (&), a modulus (%), a constant that
+// fits, or a mem.FoldHash call whose bits argument fits the target width.
+func analyzerNarrowing() *Analyzer {
+	return &Analyzer{
+		Name:  "narrowing",
+		Doc:   "unguarded narrowing conversion of a uint64 counter",
+		Scope: ScopeInternal,
+		Run:   runNarrowing,
+	}
+}
+
+func runNarrowing(pass *Pass) []Finding {
+	var out []Finding
+	info := pass.P.Info
+	for _, f := range pass.P.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			dstName, narrow := narrowTargets[dst.Kind()]
+			if !narrow {
+				return true
+			}
+			arg := call.Args[0]
+			srcType := info.TypeOf(arg)
+			if srcType == nil {
+				return true
+			}
+			src, ok := srcType.Underlying().(*types.Basic)
+			if !ok || src.Kind() != types.Uint64 {
+				return true
+			}
+			if boundedOperand(pass, arg, dst.Kind()) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "narrowing",
+				Pos:      pass.pos(call.Pos()),
+				Message: fmt.Sprintf("%s(...) narrows a uint64 value without a bound: mask or reduce before converting (e.g. %s(x & mask))",
+					dstName, dstName),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// targetBits returns how many value bits the destination kind can hold
+// losslessly from an unsigned source.
+func targetBits(k types.BasicKind) uint {
+	switch k {
+	case types.Int8:
+		return 7
+	case types.Uint8:
+		return 8
+	case types.Int16:
+		return 15
+	case types.Uint16:
+		return 16
+	case types.Int32:
+		return 31
+	case types.Uint32:
+		return 32
+	case types.Float32:
+		return 24 // mantissa
+	case types.Int:
+		return 31 // portable: int may be 32-bit
+	}
+	return 0
+}
+
+// boundedOperand reports whether the conversion operand is syntactically
+// guaranteed to fit the destination.
+func boundedOperand(pass *Pass, e ast.Expr, dst types.BasicKind) bool {
+	e = ast.Unparen(e)
+	// Constants that fit are checked by the compiler's own rules and by us.
+	if tv, ok := pass.P.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact {
+			bits := targetBits(dst)
+			return bits >= 64 || v < 1<<bits
+		}
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op.String() {
+		case "&": // masked
+			return true
+		case "%": // reduced modulo
+			return true
+		case ">>":
+			// A shift keeps the value uint64-wide; only treat it as bounded
+			// when combined with a mask, which the cases above catch.
+			return false
+		}
+	case *ast.CallExpr:
+		// mem.FoldHash(x, bits) yields a value in [0, 1<<bits).
+		if fn := calleeFunc(pass, x); fn != nil && fn.Name() == "FoldHash" &&
+			fn.Pkg() != nil && pathBase(fn.Pkg().Path()) == "mem" && len(x.Args) == 2 {
+			if tv, ok := pass.P.Info.Types[x.Args[1]]; ok && tv.Value != nil {
+				if bits, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact {
+					return uint(bits) <= targetBits(dst)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.P.Info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.P.Info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// analyzerFloatEq flags == and != between floating-point expressions.
+// Rounding makes exact float comparison order- and optimization-sensitive;
+// compare against a tolerance, or restructure so the comparison is exact by
+// construction (integers, fixed-point). The x != x NaN idiom is exempt.
+func analyzerFloatEq() *Analyzer {
+	return &Analyzer{
+		Name:  "floateq",
+		Doc:   "exact equality comparison of floating-point values",
+		Scope: ScopeInternal,
+		Run:   runFloatEq,
+	}
+}
+
+func runFloatEq(pass *Pass) []Finding {
+	var out []Finding
+	info := pass.P.Info
+	isFloat := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.Value != nil
+	}
+	for _, f := range pass.P.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op.String() != "==" && b.Op.String() != "!=") {
+				return true
+			}
+			if !isFloat(b.X) && !isFloat(b.Y) {
+				return true
+			}
+			if isConst(b.X) && isConst(b.Y) {
+				return true // compile-time constant comparison
+			}
+			if types.ExprString(b.X) == types.ExprString(b.Y) {
+				return true // x != x (NaN check)
+			}
+			out = append(out, Finding{
+				Analyzer: "floateq",
+				Pos:      pass.pos(b.OpPos),
+				Message:  fmt.Sprintf("floating-point %s comparison: use a tolerance or integer arithmetic", b.Op),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// analyzerPolicyReg checks that every concrete cache.Policy implementation
+// in internal/policy is constructible and reachable from the experiment
+// scheme registry (internal/experiments). A policy that exists but is not
+// registered silently drops out of every comparison figure the repo
+// reproduces — exactly the kind of gap review misses.
+func analyzerPolicyReg() *GlobalAnalyzer {
+	return &GlobalAnalyzer{
+		Name: "policyreg",
+		Doc:  "every concrete cache.Policy has a registered, referenced constructor",
+		Run:  runPolicyReg,
+	}
+}
+
+func runPolicyReg(l *Loader, loaded []*Package) []Finding {
+	policyPath := l.ModPath + "/internal/policy"
+	cachePath := l.ModPath + "/internal/cache"
+	expPath := l.ModPath + "/internal/experiments"
+
+	// Only meaningful when the policy package is among the analyzed targets.
+	var policyPkg *Package
+	for _, p := range loaded {
+		if p.Path == policyPath {
+			policyPkg = p
+		}
+	}
+	if policyPkg == nil {
+		return nil
+	}
+	cachePkg, err := l.Load(cachePath)
+	if err != nil {
+		return []Finding{{Analyzer: "policyreg", Message: fmt.Sprintf("cannot load %s: %v", cachePath, err)}}
+	}
+	ifaceObj := cachePkg.Pkg.Scope().Lookup("Policy")
+	if ifaceObj == nil {
+		return []Finding{{Analyzer: "policyreg", Message: cachePath + " no longer declares a Policy interface"}}
+	}
+	iface, ok := ifaceObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return []Finding{{Analyzer: "policyreg", Message: cachePath + ".Policy is not an interface"}}
+	}
+
+	// Concrete exported implementations declared in internal/policy.
+	type impl struct {
+		name string
+		pos  token.Pos
+	}
+	var impls []impl
+	scope := policyPkg.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			impls = append(impls, impl{name: name, pos: tn.Pos()})
+		}
+	}
+
+	// Constructors referenced from the experiments scheme registry.
+	expPkg, err := l.Load(expPath)
+	if err != nil {
+		return []Finding{{Analyzer: "policyreg", Message: fmt.Sprintf("cannot load %s: %v", expPath, err)}}
+	}
+	referenced := map[string]bool{}
+	for _, obj := range expPkg.Info.Uses {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == policyPath {
+			referenced[fn.Name()] = true
+		}
+	}
+
+	var out []Finding
+	for _, im := range impls {
+		ctor := "New" + im.name
+		if scope.Lookup(ctor) == nil {
+			out = append(out, Finding{
+				Analyzer: "policyreg",
+				Pos:      l.Fset.Position(im.pos),
+				Message:  fmt.Sprintf("policy %s has no %s constructor", im.name, ctor),
+			})
+			continue
+		}
+		if !referenced[ctor] {
+			out = append(out, Finding{
+				Analyzer: "policyreg",
+				Pos:      l.Fset.Position(scope.Lookup(ctor).Pos()),
+				Message: fmt.Sprintf("policy constructor %s is not referenced by the scheme registry in %s: the policy is unreachable from experiments",
+					ctor, expPath),
+			})
+		}
+	}
+	return out
+}
+
+// analyzerFixtures checks that every per-package analyzer (plus policyreg)
+// has a testdata fixture so the driver test exercises it with positive and
+// negative cases. Skipped when the module has no cmd/chromevet (fixture
+// loads in tests use override mappings and never see the real module root).
+func analyzerFixtures() *GlobalAnalyzer {
+	return &GlobalAnalyzer{
+		Name: "fixtures",
+		Doc:  "every analyzer has a testdata fixture",
+		Run:  runFixtures,
+	}
+}
+
+func runFixtures(l *Loader, loaded []*Package) []Finding {
+	base := filepath.Join(l.ModRoot, "cmd", "chromevet", "testdata", "src")
+	if _, err := os.Stat(filepath.Join(l.ModRoot, "cmd", "chromevet")); err != nil {
+		return nil
+	}
+	names := []string{"policyreg"}
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	var out []Finding
+	for _, name := range names {
+		dir := filepath.Join(base, name)
+		if !dirHasGoFiles(dir) {
+			out = append(out, Finding{
+				Analyzer: "fixtures",
+				Pos:      token.Position{Filename: dir},
+				Message:  fmt.Sprintf("analyzer %q has no fixture under cmd/chromevet/testdata/src/%s", name, name),
+			})
+		}
+	}
+	return out
+}
+
+func dirHasGoFiles(dir string) bool {
+	found := false
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".go") {
+			found = true
+		}
+		return nil
+	})
+	return found
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the floateq analyzer: exact equality between
+// floating-point values, which rounding makes unreliable.
+package fixture
+
+import "math"
+
+// same compares two floats exactly.
+func same(a, b float64) bool {
+	return a == b // want floateq "floating-point == comparison"
+}
+
+// notZero compares a float against zero exactly.
+func notZero(x float64) bool {
+	return x != 0 // want floateq "floating-point != comparison"
+}
+
+// single compares float32 values exactly.
+func single(a, b float32) bool {
+	return a == b // want floateq "floating-point == comparison"
+}
+
+// near is the sanctioned pattern: compare within a tolerance.
+func near(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// isNaN is a negative case: x != x is the NaN idiom.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// ints is a negative case: integer equality is exact.
+func ints(a, b int) bool {
+	return a == b
+}
+
+var _ = []any{same, notZero, single, near, isNaN, ints}

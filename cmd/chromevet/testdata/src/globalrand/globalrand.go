@@ -1,0 +1,38 @@
+// Package fixture exercises the globalrand analyzer: calls to the
+// process-global math/rand sources, which are not seeded per run and make
+// simulations irreproducible.
+package fixture
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+)
+
+// roll uses the global v2 source.
+func roll() int {
+	return rand.IntN(6) // want globalrand "rand.IntN"
+}
+
+// legacy uses the global v1 source.
+func legacy() int64 {
+	return mrand.Int63() // want globalrand "rand.Int63"
+}
+
+// shuffle uses the global v2 shuffler.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrand "rand.Shuffle"
+}
+
+// seeded is the sanctioned pattern: an explicit, deterministic source.
+func seeded(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, seed^1))
+	return r.Float64()
+}
+
+// seededV1 is the sanctioned pattern for the v1 API.
+func seededV1(seed int64) float64 {
+	r := mrand.New(mrand.NewSource(seed))
+	return r.Float64()
+}
+
+var _ = []any{roll, legacy, shuffle, seeded, seededV1}

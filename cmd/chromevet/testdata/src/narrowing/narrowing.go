@@ -1,0 +1,56 @@
+// Package fixture exercises the narrowing analyzer: conversions of uint64
+// cycle/address counters to narrower types without a visible bound.
+package fixture
+
+import "chrome/internal/mem"
+
+// truncate narrows a cycle counter to int (32-bit on some platforms).
+func truncate(cycle uint64) int {
+	return int(cycle) // want narrowing "int\(...\) narrows"
+}
+
+// lossy converts an address to float32 (24-bit mantissa).
+func lossy(addr uint64) float32 {
+	return float32(addr) // want narrowing "float32\(...\) narrows"
+}
+
+// shrink narrows a shifted value; a shift alone does not bound it.
+func shrink(x uint64) uint32 {
+	return uint32(x >> 1) // want narrowing "uint32\(...\) narrows"
+}
+
+// masked is a negative case: the mask bounds the value.
+func masked(x uint64) int {
+	return int(x & 0xFFFF)
+}
+
+// reduced is a negative case: the modulus bounds the value.
+func reduced(x uint64, n int) int {
+	return int(x % uint64(n))
+}
+
+// folded is a negative case: FoldHash yields a value below 1<<12.
+func folded(pc uint64) uint16 {
+	return uint16(mem.FoldHash(pc, 12))
+}
+
+// clamped is the annotation escape: the bound is enforced by control flow
+// the analyzer cannot see.
+func clamped(x uint64) uint8 {
+	if x > 255 {
+		x = 255
+	}
+	return uint8(x) //chromevet:allow narrowing -- clamped to 255 above
+}
+
+// widen is a negative case: widening conversions are always safe.
+func widen(x uint32) uint64 {
+	return uint64(x)
+}
+
+// constant is a negative case: constants that fit are compile-checked.
+func constant() uint8 {
+	return uint8(0)
+}
+
+var _ = []any{truncate, lossy, shrink, masked, reduced, folded, clamped, widen, constant}

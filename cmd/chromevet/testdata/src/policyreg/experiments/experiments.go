@@ -1,0 +1,11 @@
+// Package experiments is the policyreg fixture's stand-in for the scheme
+// registry, loaded under the import path chrome/internal/experiments. It
+// references NewGood but not NewOrphan.
+package experiments
+
+import "chrome/internal/policy"
+
+// Schemes returns the fixture's registered policies.
+func Schemes() []any {
+	return []any{policy.NewGood()}
+}

@@ -1,0 +1,47 @@
+// Package policy is the policyreg fixture's stand-in for internal/policy,
+// loaded by the driver test under the import path chrome/internal/policy.
+// It implements the real cache.Policy interface so types.Implements sees
+// genuine implementations.
+package policy
+
+import (
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// Good is a policy the fixture's scheme registry constructs.
+type Good struct{}
+
+// NewGood builds the registered policy.
+func NewGood() *Good { return &Good{} }
+
+// Name implements cache.Policy.
+func (*Good) Name() string { return "good" }
+
+// Victim implements cache.Policy.
+func (*Good) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) { return 0, false }
+
+// OnHit implements cache.Policy.
+func (*Good) OnHit(set, way int, blocks []cache.Block, acc mem.Access) {}
+
+// OnFill implements cache.Policy.
+func (*Good) OnFill(set, way int, blocks []cache.Block, acc mem.Access) {}
+
+// OnEvict implements cache.Policy.
+func (*Good) OnEvict(set, way int, blocks []cache.Block) {}
+
+// Orphan implements cache.Policy but no scheme ever constructs it, so it
+// silently drops out of every comparison figure.
+type Orphan struct{ Good }
+
+// NewOrphan builds the unregistered policy.
+func NewOrphan() *Orphan { return &Orphan{} } // want policyreg "NewOrphan is not referenced"
+
+// Stray implements cache.Policy but has no constructor at all.
+type Stray struct{ Good } // want policyreg "no NewStray constructor"
+
+// Helper is exported but not a policy; the analyzer ignores it.
+type Helper struct{}
+
+// NewHelper builds the non-policy helper.
+func NewHelper() *Helper { return &Helper{} }

@@ -1,0 +1,32 @@
+// Package fixture exercises the walltime analyzer: reads of the host
+// clock, which leak host scheduling into simulated results.
+package fixture
+
+import "time"
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want walltime "time.Now"
+}
+
+// elapsed measures host time.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want walltime "time.Since"
+}
+
+// nap blocks on the host scheduler.
+func nap(d time.Duration) {
+	time.Sleep(d) // want walltime "time.Sleep"
+}
+
+// span is a negative case: pure arithmetic on time values passed in.
+func span(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// format is a negative case: formatting a provided timestamp.
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+var _ = []any{stamp, elapsed, nap, span, format}

@@ -62,6 +62,16 @@ type Policy interface {
 	OnEvict(set, way int, blocks []Block)
 }
 
+// InvariantChecker is optionally implemented by policies that can validate
+// their per-set metadata (RRPV or EPV bounds, dueling counters in range).
+// The simulation sanitizer (build tag "simcheck") calls it after every
+// access to the set; normal builds never invoke it.
+type InvariantChecker interface {
+	// CheckSetInvariants returns a non-nil error describing the first
+	// violated invariant of the policy's metadata for the set, if any.
+	CheckSetInvariants(set int) error
+}
+
 // Stats accumulates per-level counters. All counters are measured-phase
 // only when the owning simulation resets them after warmup.
 type Stats struct {
@@ -249,13 +259,20 @@ func (c *Cache) Access(acc mem.Access) Result {
 		}
 	}
 
+	res := Result{}
+	hit := false
 	for w := range set {
 		b := &set[w]
 		if b.Valid && b.Tag == tag {
-			return c.onHit(setIdx, w, set, acc)
+			res, hit = c.onHit(setIdx, w, set, acc), true
+			break
 		}
 	}
-	return c.onMiss(setIdx, set, acc)
+	if !hit {
+		res = c.onMiss(setIdx, set, acc)
+	}
+	c.checkSet(setIdx)
+	return res
 }
 
 func (c *Cache) onHit(setIdx, way int, set []Block, acc mem.Access) Result {

@@ -1,0 +1,10 @@
+//go:build !simcheck
+
+package cache
+
+// SimcheckEnabled reports whether the simulation sanitizer is compiled in.
+const SimcheckEnabled = false
+
+// checkSet is a no-op in normal builds; build with -tags simcheck to
+// validate set invariants after every access.
+func (c *Cache) checkSet(int) {}

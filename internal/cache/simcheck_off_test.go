@@ -1,0 +1,25 @@
+//go:build !simcheck
+
+package cache
+
+import "testing"
+
+// TestNormalBuildMissesDuplicateTag documents what the sanitizer adds: the
+// very corruption that panics under -tags simcheck sails through a normal
+// build unnoticed. If this test starts failing, the checks have leaked into
+// untagged builds and every simulation is paying for them.
+func TestNormalBuildMissesDuplicateTag(t *testing.T) {
+	if SimcheckEnabled {
+		t.Fatal("SimcheckEnabled must be false without -tags simcheck")
+	}
+	c := simcheckCache(&lruPolicy{})
+	acc := injectDuplicateTag(c)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("normal build panicked on corrupted set: %v", r)
+		}
+	}()
+	if res := c.Access(acc); !res.Hit {
+		t.Fatalf("corrupted set access: got miss, want (undetected) hit")
+	}
+}

@@ -1,0 +1,23 @@
+package cache
+
+import "chrome/internal/mem"
+
+// simcheckGeometry is the small cache used by the sanitizer tests in both
+// build variants.
+func simcheckCache(p Policy) *Cache {
+	return New(Config{Name: "test", Sets: 4, Ways: 2}, p)
+}
+
+// injectDuplicateTag corrupts the cache the way a buggy fill path would:
+// two valid ways of one set holding the same tag. It returns an access that
+// touches the corrupted set.
+func injectDuplicateTag(c *Cache) mem.Access {
+	addr := mem.Addr(0x1000)
+	set := c.set(c.SetIndex(addr))
+	tag := addr.BlockNumber()
+	set[0] = Block{Valid: true, Tag: tag}
+	set[1] = Block{Valid: true, Tag: tag}
+	// A hit on the duplicated tag leaves both corrupted ways in place, so
+	// the post-access set check (when compiled in) sees the duplicate.
+	return mem.Access{Addr: addr, Type: mem.Load}
+}

@@ -1,0 +1,27 @@
+// Metadata invariants consumed by the simulation sanitizer (build tag
+// "simcheck"); see internal/policy/invariants.go for the convention.
+
+package chrome
+
+import (
+	"fmt"
+
+	"chrome/internal/cache"
+)
+
+var _ cache.InvariantChecker = (*Agent)(nil)
+
+// maxEPV is the largest eviction-priority value an action can assign
+// (EPV_H; the field is stored in 2 bits).
+const maxEPV = 2
+
+// CheckSetInvariants implements cache.InvariantChecker: every line's EPV
+// stays within [0, maxEPV].
+func (a *Agent) CheckSetInvariants(set int) error {
+	for w, v := range a.epv[set] {
+		if v > maxEPV {
+			return fmt.Errorf("way %d EPV %d exceeds max %d", w, v, maxEPV)
+		}
+	}
+	return nil
+}

@@ -198,9 +198,6 @@ func (qt *QTable) Update(s State, a Action, target, rnd float64) {
 	for fi := 0; fi < qt.n; fi++ {
 		delta := target - qt.featureQ(fi, s, a)
 		step := qt.cfg.Alpha * delta * qScale / float64(qt.cfg.SubTables)
-		if step == 0 {
-			continue
-		}
 		inc := int16(quantize(step, rnd))
 		if inc == 0 {
 			continue

@@ -158,6 +158,15 @@ func DRRIPScheme() Scheme {
 	}}
 }
 
+// SRRIPScheme returns the static RRIP baseline that DRRIP set-duels
+// against; exposing it directly lets sweeps separate the static policy
+// from the duelling machinery.
+func SRRIPScheme() Scheme {
+	return Scheme{Name: "SRRIP", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+		return policy.NewSRRIP(sets, ways)
+	}}
+}
+
 // PACManScheme returns the PACMan extension scheme (paper §VIII).
 func PACManScheme() Scheme {
 	return Scheme{Name: "PACMan", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
@@ -208,6 +217,16 @@ func DefaultSchemes() []Scheme {
 		LRUScheme(), HawkeyeScheme(), GliderScheme(),
 		MockingjayScheme(), CAREScheme(), CHROMEScheme(ChromeConfig()),
 	}
+}
+
+// AllSchemes returns every registered scheme: the paper's five compared
+// schemes plus the extension baselines (§VIII). The registry-completeness
+// tests (internal/policy and cmd/chromevet's policyreg analyzer) hold this
+// list to the policy package's exported constructors, so a new policy must
+// be added here to land.
+func AllSchemes() []Scheme {
+	return append(DefaultSchemes(),
+		SRRIPScheme(), DRRIPScheme(), PACManScheme(), SHiPPPScheme())
 }
 
 // Report is the structured outcome of one experiment runner.

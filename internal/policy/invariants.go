@@ -1,0 +1,41 @@
+// Metadata invariants consumed by the simulation sanitizer (build tag
+// "simcheck"): cache.Cache calls CheckSetInvariants after every access to a
+// set when the tag is on. The methods are unconditionally compiled —
+// they are cheap and only invoked from the tagged checker.
+
+package policy
+
+import (
+	"fmt"
+
+	"chrome/internal/cache"
+)
+
+var (
+	_ cache.InvariantChecker = (*SRRIP)(nil)
+	_ cache.InvariantChecker = (*DRRIP)(nil)
+)
+
+// CheckSetInvariants implements cache.InvariantChecker: every RRPV stays
+// within [0, maxRRPV].
+func (p *SRRIP) CheckSetInvariants(set int) error {
+	return checkRRPVBounds(p.rrpv[set], p.maxRRPV)
+}
+
+// CheckSetInvariants implements cache.InvariantChecker: RRPVs stay within
+// [0, maxRRPV] and the set-dueling counter within [0, pselMax].
+func (d *DRRIP) CheckSetInvariants(set int) error {
+	if d.psel < 0 || d.psel > d.pselMax {
+		return fmt.Errorf("PSEL %d outside [0, %d]", d.psel, d.pselMax)
+	}
+	return checkRRPVBounds(d.rrpv[set], d.maxRRPV)
+}
+
+func checkRRPVBounds(rrpv []uint8, maxRRPV uint8) error {
+	for w, v := range rrpv {
+		if v > maxRRPV {
+			return fmt.Errorf("way %d RRPV %d exceeds max %d", w, v, maxRRPV)
+		}
+	}
+	return nil
+}

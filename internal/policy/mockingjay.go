@@ -81,7 +81,7 @@ func (m *Mockingjay) train(set int, acc mem.Access) {
 			if rd > uint64(m.maxRD) {
 				rd = uint64(m.maxRD)
 			}
-			m.update(hist[i].sig, uint16(rd))
+			m.update(hist[i].sig, uint16(rd)) //chromevet:allow narrowing -- clamped to maxRD above
 			hist[i] = mjSample{block: block, sig: m.sig(acc), time: now}
 			return
 		}

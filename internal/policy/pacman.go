@@ -42,14 +42,8 @@ func NewPACMan(sets, ways int) *PACMan {
 		leaders = sets / 2
 	}
 	for i := 0; i < leaders; i++ {
-		h := int(mem.Mix64(uint64(i)*2+1)) & (sets - 1)
-		m := int(mem.Mix64(uint64(i)*2+2)) & (sets - 1)
-		if h < 0 {
-			h = -h
-		}
-		if m < 0 {
-			m = -m
-		}
+		h := int(mem.Mix64(uint64(i)*2+1) & uint64(sets-1))
+		m := int(mem.Mix64(uint64(i)*2+2) & uint64(sets-1))
 		p.leaderH[h%sets] = true
 		p.leaderM[m%sets] = !p.leaderH[m%sets] && true
 	}

@@ -1,0 +1,154 @@
+package policy_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chrome/internal/experiments"
+)
+
+// standard LLC geometry for constructibility checks (Table V: 2MB/core,
+// 16-way, 64B blocks, 4 cores).
+const (
+	stdSets  = 2048
+	stdWays  = 16
+	stdCores = 4
+)
+
+// policyConstructors parses the policy package source and returns the
+// exported New<Type> constructors whose result type implements
+// cache.Policy, judged by declared method sets (Name, Victim, OnHit,
+// OnFill, OnEvict on T or *T).
+func policyConstructors(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["policy"]
+	if !ok {
+		t.Fatalf("package policy not found in .; got %v", pkgs)
+	}
+
+	methods := map[string]map[string]bool{} // receiver type -> method names
+	type ctor struct{ fn, result string }
+	var ctors []ctor
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if recv := typeName(fd.Recv.List[0].Type); recv != "" {
+					if methods[recv] == nil {
+						methods[recv] = map[string]bool{}
+					}
+					methods[recv][fd.Name.Name] = true
+				}
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "New") || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+				continue
+			}
+			if res := typeName(fd.Type.Results.List[0].Type); res != "" {
+				ctors = append(ctors, ctor{fn: fd.Name.Name, result: res})
+			}
+		}
+	}
+
+	required := []string{"Name", "Victim", "OnHit", "OnFill", "OnEvict"}
+	out := map[string]bool{}
+	for _, c := range ctors {
+		isPolicy := true
+		for _, m := range required {
+			if !methods[c.result][m] {
+				isPolicy = false
+				break
+			}
+		}
+		if isPolicy {
+			out[c.fn] = true
+		}
+	}
+	return out
+}
+
+// typeName unwraps *T / T to the bare identifier.
+func typeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// TestRegistryComplete holds the experiments scheme registry and the policy
+// package's exported constructors to each other: every policy constructor
+// must be reachable from AllSchemes (else it silently drops out of every
+// comparison figure), and every scheme constructing a policy-package type
+// must go through an exported constructor.
+func TestRegistryComplete(t *testing.T) {
+	ctors := policyConstructors(t)
+	if len(ctors) < 8 {
+		t.Fatalf("constructor scan looks broken: found only %v", ctors)
+	}
+
+	constructed := map[string]bool{} // concrete policy type names from schemes
+	for _, s := range experiments.AllSchemes() {
+		p := s.Factory(stdSets, stdWays, stdCores, func(int) bool { return false })
+		if p == nil {
+			t.Fatalf("scheme %s constructed a nil policy", s.Name)
+		}
+		rt := reflect.TypeOf(p)
+		for rt.Kind() == reflect.Pointer {
+			rt = rt.Elem()
+		}
+		if rt.PkgPath() != "chrome/internal/policy" {
+			continue // e.g. CHROME's chrome.Agent lives elsewhere
+		}
+		constructed[rt.Name()] = true
+	}
+
+	for fn := range ctors {
+		typ := strings.TrimPrefix(fn, "New")
+		if !constructed[typ] {
+			t.Errorf("exported constructor %s has no scheme in experiments.AllSchemes; the policy is unreachable from the experiment registry", fn)
+		}
+	}
+	for typ := range constructed {
+		if !ctors["New"+typ] {
+			t.Errorf("scheme constructs policy.%s but the package exports no New%s constructor", typ, typ)
+		}
+	}
+}
+
+// TestSchemesConstructibleAtStandardGeometry checks each registered scheme
+// builds and answers a Name() at the Table V geometry, for several core
+// counts.
+func TestSchemesConstructibleAtStandardGeometry(t *testing.T) {
+	for _, cores := range []int{1, 4, 8, 16} {
+		for _, s := range experiments.AllSchemes() {
+			p := s.Factory(stdSets, stdWays, cores, func(int) bool { return false })
+			if p == nil {
+				t.Fatalf("scheme %s (cores=%d): nil policy", s.Name, cores)
+			}
+			if p.Name() == "" {
+				t.Errorf("scheme %s (cores=%d): empty policy name", s.Name, cores)
+			}
+		}
+	}
+}

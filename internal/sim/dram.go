@@ -80,8 +80,8 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 // returns its total latency (queueing + row access + burst).
 func (d *DRAM) Access(addr mem.Addr, cycle uint64, write bool) uint64 {
 	blk := addr.BlockNumber()
-	ch := int(blk) & (d.cfg.Channels - 1)
-	bank := int(blk>>1) & (d.cfg.BanksPerChannel - 1)
+	ch := int(blk & uint64(d.cfg.Channels-1))
+	bank := int((blk >> 1) & uint64(d.cfg.BanksPerChannel-1))
 	row := blk / d.cfg.RowBlocks
 
 	c := &d.chans[ch]
@@ -146,6 +146,9 @@ type mshr struct {
 	busy []uint64 // completion cycles of outstanding misses
 	// stalls counts how many acquisitions had to wait for a free entry.
 	stalls uint64
+	// mshrCheck is the simcheck sanitizer's accounting (empty in normal
+	// builds).
+	mshrCheck
 }
 
 func newMSHR(entries int) *mshr {
@@ -158,6 +161,7 @@ func newMSHR(entries int) *mshr {
 // acquire prunes completed entries at `start` and, if the file is full,
 // delays start until the earliest outstanding miss completes.
 func (m *mshr) acquire(start uint64) uint64 {
+	m.noteAcquire()
 	m.prune(start)
 	for len(m.busy) >= m.cap {
 		earliest := m.busy[0]
@@ -182,6 +186,7 @@ func (m *mshr) acquire(start uint64) uint64 {
 // commit registers an outstanding miss completing at the given cycle.
 func (m *mshr) commit(complete uint64) {
 	m.busy = append(m.busy, complete)
+	m.noteCommit(len(m.busy), m.cap)
 }
 
 // prune drops entries that completed at or before now.

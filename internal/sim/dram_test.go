@@ -106,6 +106,9 @@ func TestMSHRBacklog(t *testing.T) {
 		t.Fatalf("empty MSHR delayed acquisition to %d", got)
 	}
 	m.commit(200)
+	if got := m.acquire(100); got != 100 {
+		t.Fatalf("half-full MSHR delayed acquisition to %d", got)
+	}
 	m.commit(300)
 	// Full at cycle 150: must wait for the earliest completion (200).
 	if got := m.acquire(150); got != 200 {
@@ -122,6 +125,7 @@ func TestMSHRBacklog(t *testing.T) {
 
 func TestMSHRPrunesCompleted(t *testing.T) {
 	m := newMSHR(1)
+	m.acquire(0)
 	m.commit(50)
 	if got := m.acquire(60); got != 60 {
 		t.Fatalf("completed entry not pruned: acquire = %d", got)
@@ -146,6 +150,9 @@ func TestMSHRAcquireMonotone(t *testing.T) {
 			if i >= 3 {
 				break
 			}
+			// Register the acquire half of the discipline without its
+			// timing side effects (keeps the simcheck accounting paired).
+			m.noteAcquire()
 			m.commit(uint64(c))
 		}
 		got := m.acquire(uint64(start))

@@ -1,0 +1,24 @@
+//go:build !simcheck
+
+package sim
+
+import "testing"
+
+// TestNormalBuildMissesMSHRLeak documents what the sanitizer adds: an
+// unmatched acquire and an over-capacity commit pass silently in a normal
+// build; only -tags simcheck turns them into panics.
+func TestNormalBuildMissesMSHRLeak(t *testing.T) {
+	if SimcheckEnabled {
+		t.Fatal("SimcheckEnabled must be false without -tags simcheck")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("normal build panicked on MSHR abuse: %v", r)
+		}
+	}()
+	m := newMSHR(1)
+	m.acquire(0) // never committed: a leak simcheck would flag at end-of-run
+	m.commit(10)
+	m.commit(20) // occupancy 2 > capacity 1: overflow simcheck would flag
+	m.checkDrained("LLC MSHR")
+}

@@ -1,0 +1,62 @@
+//go:build simcheck
+
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected simcheck panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic = %v, want message containing %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+// TestSimcheckMSHROverflow simulates a caller that acquires entries but
+// ignores the back-pressure delay, committing past the file's capacity.
+func TestSimcheckMSHROverflow(t *testing.T) {
+	if !SimcheckEnabled {
+		t.Fatal("SimcheckEnabled must be true under -tags simcheck")
+	}
+	m := newMSHR(1)
+	m.noteAcquire()
+	m.noteAcquire()
+	m.commit(10)
+	expectPanic(t, "exceeds capacity", func() { m.commit(20) })
+}
+
+// TestSimcheckMSHRCommitWithoutAcquire catches a commit that was never
+// admitted through acquire.
+func TestSimcheckMSHRCommitWithoutAcquire(t *testing.T) {
+	m := newMSHR(4)
+	expectPanic(t, "acquired only", func() { m.commit(10) })
+}
+
+// TestSimcheckMSHRLeak catches an acquire that is never committed: the
+// file no longer drains to zero at end-of-run.
+func TestSimcheckMSHRLeak(t *testing.T) {
+	m := newMSHR(4)
+	m.acquire(0)
+	expectPanic(t, "leaked 1 MSHR entries", func() { m.checkDrained("L1 MSHR (core 0)") })
+}
+
+// TestSimcheckMSHRCleanDrain checks the paired acquire/commit discipline
+// the simulator follows keeps the sanitizer silent.
+func TestSimcheckMSHRCleanDrain(t *testing.T) {
+	m := newMSHR(2)
+	for i := uint64(0); i < 8; i++ {
+		start := m.acquire(i * 10)
+		m.commit(start + 100)
+	}
+	m.checkDrained("LLC MSHR")
+}

@@ -360,7 +360,9 @@ func (s *System) Run(warmup, measure uint64) Result {
 		s.cores[i].BeginWindow()
 	}
 	s.runPhase(warmup + measure)
-	return s.collect()
+	res := s.collect()
+	s.checkEndOfRun()
+	return res
 }
 
 // runPhase steps cores (smallest issue frontier first) until every core

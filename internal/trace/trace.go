@@ -376,7 +376,7 @@ func NewPointerChase(cfg PointerChaseConfig) *PointerChase {
 	for i := range g.next {
 		g.next[i] = uint32(i)
 	}
-	for i := int(g.nodes) - 1; i > 0; i-- {
+	for i := len(g.next) - 1; i > 0; i-- {
 		j := pr.IntN(i)
 		g.next[i], g.next[j] = g.next[j], g.next[i]
 	}
