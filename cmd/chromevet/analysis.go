@@ -25,12 +25,14 @@ const (
 	// ScopeInternal covers every package under <module>/internal/.
 	ScopeInternal Scope = iota
 	// ScopeCore covers the simulator-state packages whose behaviour feeds
-	// reported results: internal/{sim,cache,policy,chrome} and below.
+	// reported results — the packages pinned single-threaded by the
+	// parallel-safety layer: internal/{sim,cache,policy,chrome,cpu,camat,
+	// prefetch} and below.
 	ScopeCore
 )
 
 // coreDirs are the ScopeCore package roots (relative to <module>/internal/).
-var coreDirs = []string{"sim", "cache", "policy", "chrome"}
+var coreDirs = []string{"sim", "cache", "policy", "chrome", "cpu", "camat", "prefetch"}
 
 // inScope reports whether a package path falls under the scope.
 func inScope(s Scope, modPath, pkgPath string) bool {
@@ -80,6 +82,8 @@ func Analyzers() []*Analyzer {
 		analyzerWallTime(),
 		analyzerNarrowing(),
 		analyzerFloatEq(),
+		analyzerGlobalMut(),
+		analyzerConcPrim(),
 	}
 }
 
@@ -87,6 +91,7 @@ func Analyzers() []*Analyzer {
 func GlobalAnalyzers() []*GlobalAnalyzer {
 	return []*GlobalAnalyzer{
 		analyzerPolicyReg(),
+		analyzerAliasShare(),
 		analyzerFixtures(),
 	}
 }
@@ -122,14 +127,18 @@ func RunAnalyzers(l *Loader, pkgs []*Package) []Finding {
 }
 
 // pathForFile maps a finding back to its package (best effort, for allow
-// comments on global-analyzer findings).
+// comments on global-analyzer findings). The longest matching directory
+// wins, so files in nested packages are not claimed by the module root.
 func pathForFile(l *Loader, pkgs []*Package, f Finding) string {
+	best, bestLen := "", -1
 	for _, p := range pkgs {
 		if strings.HasPrefix(f.Pos.Filename, p.Dir+string('/')) || f.Pos.Filename == p.Dir {
-			return p.Path
+			if len(p.Dir) > bestLen {
+				best, bestLen = p.Path, len(p.Dir)
+			}
 		}
 	}
-	return ""
+	return best
 }
 
 func filterAllowed(p *Package, analyzer string, fs []Finding) []Finding {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// callGraph is a per-package reference graph over top-level function and
+// method declarations: an edge A -> B means A's body references B (a call,
+// a method call, or a function value). Over-approximating calls with
+// references is the safe direction for reachability-based classification.
+// Function literals attribute their contents to the enclosing declaration.
+type callGraph struct {
+	pkg   *Package
+	decls map[*types.Func]*ast.FuncDecl
+	refs  map[*types.Func][]*types.Func
+	// initRefs are functions referenced from package-level variable
+	// initializers, which run during package initialization.
+	initRefs []*types.Func
+}
+
+// buildCallGraph indexes the package's top-level declarations.
+func buildCallGraph(p *Package) *callGraph {
+	g := &callGraph{
+		pkg:   p,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		refs:  map[*types.Func][]*types.Func{},
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				fn, ok := p.Info.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[fn] = d
+				if d.Body != nil {
+					g.refs[fn] = referencedFuncs(p, d.Body)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						g.initRefs = append(g.initRefs, referencedFuncs(p, v)...)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// referencedFuncs collects the same-package functions referenced anywhere
+// under n, each once.
+func referencedFuncs(p *Package, n ast.Node) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() != p.Pkg || seen[fn] {
+			return true
+		}
+		seen[fn] = true
+		out = append(out, fn)
+		return true
+	})
+	return out
+}
+
+// initRoots returns the functions that run (or become referenced) during
+// package initialization: init functions plus functions referenced from
+// package-level variable initializers.
+func (g *callGraph) initRoots() []*types.Func {
+	var roots []*types.Func
+	for fn := range g.decls {
+		if fn.Name() == "init" && fn.Type().(*types.Signature).Recv() == nil {
+			roots = append(roots, fn)
+		}
+	}
+	return append(roots, g.initRefs...)
+}
+
+// entryRoots returns the functions callable from outside the package after
+// init: exported functions and methods, plus main in a main package.
+func (g *callGraph) entryRoots() []*types.Func {
+	var roots []*types.Func
+	for fn := range g.decls {
+		if fn.Exported() || (fn.Name() == "main" && g.pkg.Name == "main") {
+			roots = append(roots, fn)
+		}
+	}
+	return roots
+}
+
+// reachable walks the reference graph from the roots and returns, for each
+// reachable function, the first root (in source order) that reaches it.
+func (g *callGraph) reachable(roots []*types.Func) map[*types.Func]*types.Func {
+	sorted := append([]*types.Func(nil), roots...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pos() < sorted[j].Pos() })
+	from := map[*types.Func]*types.Func{}
+	var visit func(fn, root *types.Func)
+	visit = func(fn, root *types.Func) {
+		if _, done := from[fn]; done {
+			return
+		}
+		from[fn] = root
+		for _, callee := range g.refs[fn] {
+			visit(callee, root)
+		}
+	}
+	for _, r := range sorted {
+		visit(r, r)
+	}
+	return from
+}

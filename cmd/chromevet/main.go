@@ -10,7 +10,13 @@
 //     counters (narrowing), no exact float equality (floateq);
 //   - structure: every concrete cache.Policy is reachable from the
 //     experiment scheme registry (policyreg), and every analyzer has a
-//     testdata fixture (fixtures).
+//     testdata fixture (fixtures);
+//   - parallel safety: no package-level state written after init time
+//     (globalmut), no exported core-package API retaining caller-provided
+//     mutable objects (aliasshare), and no concurrency primitives inside
+//     the single-threaded core simulator packages (concprim). Together
+//     these certify that simulator instances share no mutable state, so
+//     the experiments runner may execute cells concurrently.
 //
 // Findings can be suppressed line-by-line with a justification comment:
 //

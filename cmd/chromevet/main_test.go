@@ -77,6 +77,9 @@ func fixtureLoader(t *testing.T) *Loader {
 	l.Override("chrome/internal/vetfixture/floateq", filepath.Join(base, "floateq"))
 	l.Override("chrome/internal/policy", filepath.Join(base, "policyreg", "policy"))
 	l.Override("chrome/internal/experiments", filepath.Join(base, "policyreg", "experiments"))
+	l.Override("chrome/internal/vetfixture/globalmut", filepath.Join(base, "globalmut"))
+	l.Override("chrome/internal/policy/parfixture", filepath.Join(base, "aliasshare"))
+	l.Override("chrome/internal/cache/parfixture", filepath.Join(base, "concprim"))
 	return l
 }
 
@@ -98,6 +101,9 @@ func TestFixtures(t *testing.T) {
 		{"narrowing", "chrome/internal/vetfixture/narrowing", []string{"narrowing"}},
 		{"floateq", "chrome/internal/vetfixture/floateq", []string{"floateq"}},
 		{"policyreg", "chrome/internal/policy", []string{filepath.Join("policyreg", "policy")}},
+		{"globalmut", "chrome/internal/vetfixture/globalmut", []string{"globalmut"}},
+		{"aliasshare", "chrome/internal/policy/parfixture", []string{"aliasshare"}},
+		{"concprim", "chrome/internal/cache/parfixture", []string{"concprim"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -126,7 +126,7 @@ func runFixtures(l *Loader, loaded []*Package) []Finding {
 	if _, err := os.Stat(filepath.Join(l.ModRoot, "cmd", "chromevet")); err != nil {
 		return nil
 	}
-	names := []string{"policyreg"}
+	names := []string{"policyreg", "aliasshare"}
 	for _, a := range Analyzers() {
 		names = append(names, a.Name)
 	}

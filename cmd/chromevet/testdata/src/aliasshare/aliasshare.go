@@ -1,0 +1,81 @@
+// Package fixture exercises the aliasshare analyzer: exported constructors
+// and methods of core simulator packages that retain a caller-provided
+// mutable object, so two simulator instances built from the same arguments
+// would alias shared state. Loaded by the driver test under the import
+// path chrome/internal/policy/parfixture so the core-package scope applies.
+package fixture
+
+import (
+	"maps"
+	"math/rand/v2"
+)
+
+type source struct{ next int }
+
+// Table is the structure the constructors below build.
+type Table struct {
+	weights []float64
+	meta    map[string]int
+	src     *source
+	rng     *rand.Rand
+}
+
+// NewTable retains both reference arguments via its composite literal.
+func NewTable(
+	weights []float64, // want aliasshare "NewTable retains caller-provided slice \"weights\""
+	meta map[string]int, // want aliasshare "NewTable retains caller-provided map \"meta\""
+) *Table {
+	return &Table{weights: weights, meta: meta}
+}
+
+// SetSource retains the pointer through a field store.
+func (t *Table) SetSource(
+	s *source, // want aliasshare "SetSource retains caller-provided pointer \"s\""
+) {
+	t.src = s
+}
+
+// Reseed retains a shared random generator — the classic hazard: two
+// simulator instances drawing from one stream are order-dependent.
+func (t *Table) Reseed(
+	rng *rand.Rand, // want aliasshare "Reseed retains caller-provided \*rand.Rand \"rng\""
+) {
+	t.rng = rng
+}
+
+// hold is an unexported retention sink; summaries propagate out of it.
+func hold(t *Table, ws []float64) {
+	t.weights = ws
+}
+
+// NewShared retains ws transitively through hold — the interprocedural
+// case a per-function check would miss.
+func NewShared(
+	ws []float64, // want aliasshare "NewShared retains caller-provided slice \"ws\""
+) *Table {
+	t := &Table{}
+	hold(t, ws)
+	return t
+}
+
+// NewTableCopy is the sanctioned pattern: defensive copies only, so the
+// caller keeps exclusive ownership of its arguments.
+func NewTableCopy(weights []float64, meta map[string]int) *Table {
+	return &Table{
+		weights: append([]float64(nil), weights...),
+		meta:    maps.Clone(meta),
+	}
+}
+
+// Lookup is a negative case: reading through a reference argument without
+// storing it is not retention.
+func (t *Table) Lookup(m map[string]int, key string) int {
+	return m[key] + t.meta[key]
+}
+
+// Scale is a negative case: value parameters cannot alias.
+func (t *Table) Scale(factor float64) {
+	for i := range t.weights {
+		t.weights[i] *= factor
+	}
+}

@@ -1,0 +1,93 @@
+// Package fixture exercises the globalmut analyzer: package-level mutable
+// state written after init time. The write-once registry pattern (writes
+// reachable only from package initialization) must pass; writes reachable
+// from exported entry points must fail, including through unexported
+// helpers (the callgraph makes the check interprocedural).
+package fixture
+
+// registry is a negative case: it is written only by register, which is
+// reachable only from init — the sanctioned write-once pattern.
+var registry = map[string]int{}
+
+func register(name string) {
+	registry[name] = len(registry)
+}
+
+func init() {
+	register("alpha")
+	register("beta")
+}
+
+// defaults is a negative case: seeded from a package-level initializer
+// expression, which also runs at init time.
+var defaults = seed("gamma")
+
+var seeded []string
+
+func seed(name string) []string {
+	seeded = append(seeded, name)
+	return seeded
+}
+
+// counter is package-level mutable state the positive cases write.
+var counter int
+
+// Bump writes a global directly from an exported entry point.
+func Bump() {
+	counter++ // want globalmut "package-level var \"counter\" written outside init \(reachable from exported Bump\)"
+}
+
+// Reset writes the same global through an unexported helper.
+func Reset() { clearCounter() }
+
+func clearCounter() {
+	counter = 0 // want globalmut "package-level var \"counter\" written outside init \(reachable from exported Reset\)"
+}
+
+// Expose leaks the address of a global, so any caller can mutate it.
+func Expose() *int {
+	return &counter // want globalmut "package-level var \"counter\" address-escaped"
+}
+
+// memo is a package-level cache two concurrent callers would share.
+var memo map[string]int
+
+// Lookup lazily builds and updates the package-level cache.
+func Lookup(name string) int {
+	if memo == nil {
+		memo = map[string]int{} // want globalmut "package-level var \"memo\" written"
+	}
+	v := registry[name]
+	memo[name] = v // want globalmut "package-level var \"memo\" written"
+	return v
+}
+
+type gauge struct{ n int }
+
+func (g *gauge) set(v int) { g.n = v }
+
+// shared is mutated through a pointer-receiver method.
+var shared gauge
+
+// Configure mutates a global through a pointer-receiver method call.
+func Configure(v int) {
+	shared.set(v) // want globalmut "package-level var \"shared\" mutated via pointer-receiver method set"
+}
+
+// ready is the annotation escape: a reviewed write-once latch.
+var ready bool
+
+// Mark flips the latch; the allow comment records the review.
+func Mark() {
+	ready = true //chromevet:allow globalmut -- reviewed write-once latch
+}
+
+// Local is a negative case: shadowing locals and struct fields are not
+// package-level state.
+func Local(v int) int {
+	counter := v
+	counter++
+	g := gauge{}
+	g.set(counter)
+	return g.n
+}

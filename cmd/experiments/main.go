@@ -7,7 +7,14 @@
 //	experiments -list
 //	experiments -run fig06-08 -scale quick
 //	experiments -scale full            # entire suite (tens of minutes)
+//	experiments -scale full -j 8       # ... on 8 workers
 //	experiments -qualify               # workload MPKI qualification
+//
+// Independent simulation cells (one mix under one scheme) run on a bounded
+// worker pool sized by -j; results are merged deterministically, so the
+// output is byte-identical to a sequential run (-j 1) at equal seeds. The
+// core simulator packages are single-threaded — chromevet's parallel-safety
+// analyzers certify that concurrent cells share no mutable state.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -30,8 +38,13 @@ func main() {
 		qualify = flag.Bool("qualify", false, "print per-workload baseline MPKI (selection criterion)")
 		outdir  = flag.String("outdir", "", "also write each report as CSV into this directory")
 		mdOut   = flag.String("md", "", "also write all reports as a markdown results document")
+		jobs    = flag.Int("j", runtime.NumCPU(), "worker pool size for independent simulation cells (1 = sequential)")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "-j must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {
@@ -50,6 +63,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
 		os.Exit(2)
 	}
+	sc.Parallelism = *jobs
 
 	if *qualify {
 		mpki := experiments.QualifyWorkloads(sc)

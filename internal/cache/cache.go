@@ -177,7 +177,7 @@ type Cache struct {
 
 // New builds a cache level with the given geometry and policy. Sets must be
 // a power of two and both dimensions positive.
-func New(cfg Config, p Policy) *Cache {
+func New(cfg Config, p Policy) *Cache { //chromevet:allow aliasshare -- ownership transfer: each cache owns a freshly built policy (sim.New calls the factory per instance)
 	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: sets must be a positive power of two, got %d", cfg.Name, cfg.Sets))
 	}
@@ -212,10 +212,10 @@ func (c *Cache) ResetStats() {
 }
 
 // SetEvictionTracker installs an optional unused-eviction tracker (Fig. 2).
-func (c *Cache) SetEvictionTracker(t *ReuseTracker) { c.evictTracker = t }
+func (c *Cache) SetEvictionTracker(t *ReuseTracker) { c.evictTracker = t } //chromevet:allow aliasshare -- ownership transfer: callers build one tracker per system
 
 // SetBypassTracker installs an optional bypass-efficiency tracker (Fig. 9).
-func (c *Cache) SetBypassTracker(t *ReuseTracker) { c.bypassTracker = t }
+func (c *Cache) SetBypassTracker(t *ReuseTracker) { c.bypassTracker = t } //chromevet:allow aliasshare -- ownership transfer: callers build one tracker per system
 
 // SetIndex returns the set index for an address.
 func (c *Cache) SetIndex(a mem.Addr) int {

@@ -71,6 +71,10 @@ func (a *Agent) Stats() AgentStats { return a.stats }
 // New builds a CHROME agent for an LLC with the given geometry.
 func New(cfg Config, sets, ways int) *Agent {
 	cfg.validate()
+	// Config arrives by value, but StateFeatures is a slice: copy it so
+	// agents built from one shared Config (a Scheme closure reused across
+	// parallel experiment cells) never alias the caller's backing array.
+	cfg.StateFeatures = append([]FeatureKind(nil), cfg.StateFeatures...)
 	a := &Agent{
 		cfg:     cfg,
 		qt:      NewQTable(cfg),

@@ -42,7 +42,7 @@ type LookupPipeline struct {
 }
 
 // NewLookupPipeline builds a pipeline over the given Q-table.
-func NewLookupPipeline(qt *QTable) *LookupPipeline {
+func NewLookupPipeline(qt *QTable) *LookupPipeline { //chromevet:allow aliasshare -- ownership transfer: the agent wires its own Q-table into its own pipeline
 	return &LookupPipeline{qt: qt, slots: make([]*lookupRequest, pipelineStages)}
 }
 

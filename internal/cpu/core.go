@@ -54,7 +54,7 @@ type Core struct {
 }
 
 // New builds a core over the given trace generator and memory callback.
-func New(id int, cfg Config, gen trace.Generator, memFn MemFunc) *Core {
+func New(id int, cfg Config, gen trace.Generator, memFn MemFunc) *Core { //chromevet:allow aliasshare -- ownership transfer: sim.New hands each core its own generator
 	if cfg.Width <= 0 || cfg.ROB <= 0 {
 		panic("cpu: width and ROB must be positive")
 	}

@@ -32,6 +32,11 @@ type Scale struct {
 	HeteroMixes4, HeteroMixes8, HeteroMixes16 int
 	// Seed drives mix selection and agent exploration.
 	Seed uint64
+	// Parallelism bounds the worker pool running independent simulation
+	// cells (0 = one worker per CPU, 1 = fully sequential). Results are
+	// merged deterministically, so the output is byte-identical at any
+	// setting.
+	Parallelism int
 }
 
 // QuickScale is sized for tests and benchmarks (seconds per figure). At
@@ -343,15 +348,39 @@ func gapSubset(sc Scale) []workload.Profile {
 }
 
 // speedups runs all schemes on one mix and returns name->weighted speedup
-// over the LRU scheme (which must be schemes[0]) plus the raw results.
+// over the LRU scheme (which must be schemes[0]) plus the raw results. The
+// per-scheme runs are independent cells (each gets fresh generators), so
+// they execute on the Scale's worker pool; the maps are merged by scheme
+// index, making the output identical at any parallelism.
 func speedups(gens func() []trace.Generator, cores int, schemes []Scheme, pf PrefetchConfig, sc Scale) (map[string]float64, map[string]sim.Result) {
-	base := runMix(gens(), cores, schemes[0], pf, sc)
+	rs := parMap(sc, len(schemes), func(i int) sim.Result {
+		return runMix(gens(), cores, schemes[i], pf, sc)
+	})
+	base := rs[0]
 	out := map[string]float64{schemes[0].Name: 1.0}
 	results := map[string]sim.Result{schemes[0].Name: base}
-	for _, s := range schemes[1:] {
-		r := runMix(gens(), cores, s, pf, sc)
-		out[s.Name] = metrics.WeightedSpeedup(r.IPC, base.IPC)
-		results[s.Name] = r
+	for i, s := range schemes[1:] {
+		out[s.Name] = metrics.WeightedSpeedup(rs[i+1].IPC, base.IPC)
+		results[s.Name] = rs[i+1]
 	}
 	return out, results
+}
+
+// mixSweep runs all schemes on every mix and returns, per mix, the
+// name->weighted-speedup map over schemes[0] (the LRU baseline). The whole
+// mixes x schemes grid is flattened onto one worker pool, so wide mix
+// sweeps (Fig. 10, Fig. 11) saturate the workers without nesting pools.
+func mixSweep(mixes []workload.Mix, cores int, schemes []Scheme, pf PrefetchConfig, sc Scale) []map[string]float64 {
+	grid := parGrid(sc, len(mixes), len(schemes), func(m, s int) sim.Result {
+		return runMix(mixes[m].Generators(), cores, schemes[s], pf, sc)
+	})
+	out := make([]map[string]float64, len(mixes))
+	for m, row := range grid {
+		ws := map[string]float64{schemes[0].Name: 1.0}
+		for s := 1; s < len(schemes); s++ {
+			ws[schemes[s].Name] = metrics.WeightedSpeedup(row[s].IPC, row[0].IPC)
+		}
+		out[m] = ws
+	}
+	return out
 }

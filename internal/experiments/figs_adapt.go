@@ -86,11 +86,10 @@ func Fig16(sc Scale) []Report {
 
 	eval := func(cfg chrome.Config) float64 {
 		s := CHROMEScheme(cfg)
-		var ws []float64
-		for _, p := range profiles {
-			r := runMix(workload.HomogeneousMix(p, 4), 4, s, pf, sc)
-			ws = append(ws, metrics.WeightedSpeedup(r.IPC, baseResults[p.Name]["LRU"].IPC))
-		}
+		ws := parMap(sc, len(profiles), func(i int) float64 {
+			r := runMix(workload.HomogeneousMix(profiles[i], 4), 4, s, pf, sc)
+			return metrics.WeightedSpeedup(r.IPC, baseResults[profiles[i].Name]["LRU"].IPC)
+		})
 		return metrics.GeoMean(ws)
 	}
 
@@ -146,14 +145,19 @@ func TableVII(sc Scale) []Report {
 	for _, size := range []int{12, 16, 20, 24, 28, 32, 36} {
 		cfg := ChromeConfig()
 		cfg.EQDepth = size
-		s := CHROMEScheme(cfg)
+		type cell struct{ ws, upksa float64 }
+		cells := parMap(sc, len(profiles), func(i int) cell {
+			r, agentUPKSA := runMixWithAgent(workload.HomogeneousMix(profiles[i], 4), 4, cfg, pf, sc)
+			return cell{
+				ws:    metrics.WeightedSpeedup(r.IPC, baseResults[profiles[i].Name]["LRU"].IPC),
+				upksa: agentUPKSA,
+			}
+		})
 		var ws, upksa []float64
-		for _, p := range profiles {
-			r, agentUPKSA := runMixWithAgent(workload.HomogeneousMix(p, 4), 4, cfg, pf, sc)
-			ws = append(ws, metrics.WeightedSpeedup(r.IPC, baseResults[p.Name]["LRU"].IPC))
-			upksa = append(upksa, agentUPKSA)
+		for _, c := range cells {
+			ws = append(ws, c.ws)
+			upksa = append(upksa, c.upksa)
 		}
-		_ = s
 		gm := metrics.GeoMean(ws)
 		// Overhead reported for the paper's hardware configuration (64
 		// queues) at this depth.

@@ -40,11 +40,10 @@ func FeatureStudy(sc Scale) []Report {
 		cfg := ChromeConfig()
 		cfg.StateFeatures = cand.kinds
 		s := CHROMEScheme(cfg)
-		var ws []float64
-		for _, p := range profiles {
-			r := runMix(workload.HomogeneousMix(p, 4), 4, s, pf, sc)
-			ws = append(ws, metrics.WeightedSpeedup(r.IPC, baseResults[p.Name]["LRU"].IPC))
-		}
+		ws := parMap(sc, len(profiles), func(i int) float64 {
+			r := runMix(workload.HomogeneousMix(profiles[i], 4), 4, s, pf, sc)
+			return metrics.WeightedSpeedup(r.IPC, baseResults[profiles[i].Name]["LRU"].IPC)
+		})
 		gm := metrics.GeoMean(ws)
 		tab.AddRow(cand.name, metrics.Pct(gm))
 		summary[cand.name+"_pct"] = metrics.SpeedupPercent(gm)
@@ -79,23 +78,31 @@ func LearningCurve(sc Scale) []Report {
 		budgets = []uint64{30_000, 80_000, 160_000}
 	}
 
+	var valid []workload.Profile
+	for _, name := range profiles {
+		if p, err := workload.ByName(name); err == nil {
+			valid = append(valid, p)
+		}
+	}
+	// Each (profile, budget) cell runs its LRU baseline and CHROME back to
+	// back; the grid parallelizes across cells.
+	grid := parGrid(sc, len(valid), len(budgets), func(pi, bi int) float64 {
+		runSc := sc
+		runSc.Warmup = budgets[bi] / 5
+		runSc.Measure = budgets[bi]
+		p := valid[pi]
+		base := runMix(workload.HomogeneousMix(p, 4), 4, LRUScheme(), pf, runSc)
+		res := runMix(workload.HomogeneousMix(p, 4), 4, CHROMEScheme(ChromeConfig()), pf, runSc)
+		return metrics.WeightedSpeedup(res.IPC, base.IPC)
+	})
 	tab := metrics.NewTable(append([]string{"workload"}, budgetLabels(budgets)...)...)
 	summary := map[string]float64{}
-	for _, name := range profiles {
-		p, err := workload.ByName(name)
-		if err != nil {
-			continue
-		}
-		row := []string{name}
-		for _, budget := range budgets {
-			runSc := sc
-			runSc.Warmup = budget / 5
-			runSc.Measure = budget
-			base := runMix(workload.HomogeneousMix(p, 4), 4, LRUScheme(), pf, runSc)
-			res := runMix(workload.HomogeneousMix(p, 4), 4, CHROMEScheme(ChromeConfig()), pf, runSc)
-			ws := metrics.WeightedSpeedup(res.IPC, base.IPC)
+	for pi, p := range valid {
+		row := []string{p.Name}
+		for bi, budget := range budgets {
+			ws := grid[pi][bi]
 			row = append(row, metrics.Pct(ws))
-			summary[fmt.Sprintf("%s_%dk_pct", name, budget/1000)] = metrics.SpeedupPercent(ws)
+			summary[fmt.Sprintf("%s_%dk_pct", p.Name, budget/1000)] = metrics.SpeedupPercent(ws)
 		}
 		tab.AddRow(row...)
 	}

@@ -111,30 +111,33 @@ func Fig9(sc Scale) []Report {
 	pf := PFDefault()
 	schemes := []Scheme{MockingjayScheme(), CHROMEScheme(ChromeConfig())}
 	tab := metrics.NewTable("workload", "MJ-coverage", "MJ-efficiency", "CHROME-coverage", "CHROME-efficiency")
+	type cell struct{ coverage, efficiency float64 }
+	grid := parGrid(sc, len(profiles), len(schemes), func(pi, si int) cell {
+		cfg := sim.ScaledConfig(4)
+		cfg.L1Prefetcher = pf.L1
+		cfg.L2Prefetcher = pf.L2
+		sys := sim.New(cfg, workload.HomogeneousMix(profiles[pi], 4), schemes[si].Factory)
+		tracker := cache.NewReuseTracker(0)
+		sys.SetBypassTracker(tracker)
+		res := sys.Run(sc.Warmup, sc.Measure)
+		var c cell
+		if incoming := res.LLC.Bypasses + res.LLC.Fills; incoming > 0 {
+			c.coverage = float64(res.LLC.Bypasses) / float64(incoming)
+		}
+		if tracker.Total > 0 {
+			c.efficiency = 1 - tracker.ReRequestedRatio()
+		}
+		return c
+	})
 	cov := map[string][]float64{}
 	eff := map[string][]float64{}
-	for _, p := range profiles {
+	for pi, p := range profiles {
 		row := []string{p.Name}
-		for _, s := range schemes {
-			cfg := sim.ScaledConfig(4)
-			cfg.L1Prefetcher = pf.L1
-			cfg.L2Prefetcher = pf.L2
-			sys := sim.New(cfg, workload.HomogeneousMix(p, 4), s.Factory)
-			tracker := cache.NewReuseTracker(0)
-			sys.SetBypassTracker(tracker)
-			res := sys.Run(sc.Warmup, sc.Measure)
-			incoming := res.LLC.Bypasses + res.LLC.Fills
-			coverage := 0.0
-			if incoming > 0 {
-				coverage = float64(res.LLC.Bypasses) / float64(incoming)
-			}
-			efficiency := 1 - tracker.ReRequestedRatio()
-			if tracker.Total == 0 {
-				efficiency = 0
-			}
-			cov[s.Name] = append(cov[s.Name], coverage)
-			eff[s.Name] = append(eff[s.Name], efficiency)
-			row = append(row, pctf(coverage), pctf(efficiency))
+		for si, s := range schemes {
+			c := grid[pi][si]
+			cov[s.Name] = append(cov[s.Name], c.coverage)
+			eff[s.Name] = append(eff[s.Name], c.efficiency)
+			row = append(row, pctf(c.coverage), pctf(c.efficiency))
 		}
 		tab.AddRow(row...)
 	}
@@ -180,8 +183,7 @@ func Fig10(sc Scale) []Report {
 	}
 	var rows []mixRow
 	bestCount := map[string]int{}
-	for _, m := range mixes {
-		ws, _ := speedups(m.Generators, 4, schemes, pf, sc)
+	for mi, ws := range mixSweep(mixes, 4, schemes, pf, sc) {
 		best, bestV := "", 0.0
 		for _, s := range schemes[1:] {
 			if ws[s.Name] > bestV {
@@ -189,7 +191,7 @@ func Fig10(sc Scale) []Report {
 			}
 		}
 		bestCount[best]++
-		rows = append(rows, mixRow{name: m.Name, ws: ws})
+		rows = append(rows, mixRow{name: mixes[mi].Name, ws: ws})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ws["CHROME"] < rows[j].ws["CHROME"] })
 

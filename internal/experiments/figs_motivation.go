@@ -23,13 +23,19 @@ func capProfiles(ps []workload.Profile, n int) []workload.Profile {
 }
 
 // homoSweep runs all schemes over homogeneous mixes of each profile and
-// returns results[profile][scheme].
+// returns results[profile][scheme]. The profiles x schemes grid runs on
+// the Scale's worker pool; every cell builds its own system and
+// generators, and the result maps are keyed by grid position, so the
+// sweep is deterministic at any parallelism.
 func homoSweep(profiles []workload.Profile, cores int, schemes []Scheme, pf PrefetchConfig, sc Scale) map[string]map[string]sim.Result {
+	grid := parGrid(sc, len(profiles), len(schemes), func(pi, si int) sim.Result {
+		return runMix(workload.HomogeneousMix(profiles[pi], cores), cores, schemes[si], pf, sc)
+	})
 	out := make(map[string]map[string]sim.Result, len(profiles))
-	for _, p := range profiles {
+	for pi, p := range profiles {
 		row := make(map[string]sim.Result, len(schemes))
-		for _, s := range schemes {
-			row[s.Name] = runMix(workload.HomogeneousMix(p, cores), cores, s, pf, sc)
+		for si, s := range schemes {
+			row[s.Name] = grid[pi][si]
 		}
 		out[p.Name] = row
 	}
@@ -100,29 +106,38 @@ func Fig2(sc Scale) []Report {
 	profiles := representativeProfiles(pick(sc.Profiles, 8))
 	pf := PFDefault()
 	tab := metrics.NewTable("workload", "unused/evicted", "re-requested-later", "never-again", "prefetch-share-of-unused")
-	var unusedR, pfShareR, reReqR []float64
-	for _, p := range profiles {
+	type cell struct {
+		unused, pfShare, reReq float64
+		ok                     bool
+	}
+	cells := parMap(sc, len(profiles), func(i int) cell {
 		cfg := sim.ScaledConfig(4)
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
-		sys := sim.New(cfg, workload.HomogeneousMix(p, 4), GliderScheme().Factory)
+		sys := sim.New(cfg, workload.HomogeneousMix(profiles[i], 4), GliderScheme().Factory)
 		tracker := cache.NewReuseTracker(0)
 		sys.SetEvictionTracker(tracker)
 		res := sys.Run(sc.Warmup, sc.Measure)
 		st := res.LLC
 		if st.Evictions == 0 {
+			return cell{}
+		}
+		c := cell{unused: float64(st.EvictionsUnused) / float64(st.Evictions), ok: true}
+		if st.EvictionsUnused > 0 {
+			c.pfShare = float64(st.EvictionsUnusedPF) / float64(st.EvictionsUnused)
+		}
+		c.reReq = tracker.ReRequestedRatio()
+		return c
+	})
+	var unusedR, pfShareR, reReqR []float64
+	for i, c := range cells {
+		if !c.ok {
 			continue
 		}
-		unused := float64(st.EvictionsUnused) / float64(st.Evictions)
-		pfShare := 0.0
-		if st.EvictionsUnused > 0 {
-			pfShare = float64(st.EvictionsUnusedPF) / float64(st.EvictionsUnused)
-		}
-		reReq := tracker.ReRequestedRatio()
-		unusedR = append(unusedR, unused)
-		pfShareR = append(pfShareR, pfShare)
-		reReqR = append(reReqR, reReq)
-		tab.AddRowf(p.Name, pctf(unused), pctf(unused*reReq), pctf(unused*(1-reReq)), pctf(pfShare))
+		unusedR = append(unusedR, c.unused)
+		pfShareR = append(pfShareR, c.pfShare)
+		reReqR = append(reReqR, c.reReq)
+		tab.AddRowf(profiles[i].Name, pctf(c.unused), pctf(c.unused*c.reReq), pctf(c.unused*(1-c.reReq)), pctf(c.pfShare))
 	}
 	rep := Report{
 		ID:    "fig02",
@@ -151,22 +166,26 @@ var fig3Workloads = []string{"soplex", "wrf", "mcf", "xalancbmk", "omnetpp", "gc
 // the adaptability gap CHROME motivates (§III-B).
 func Fig3(sc Scale) []Report {
 	schemes := []Scheme{LRUScheme(), HawkeyeScheme(), GliderScheme(), MockingjayScheme()}
+	var profiles []workload.Profile
+	for _, name := range fig3Workloads {
+		if p, err := workload.ByName(name); err == nil {
+			profiles = append(profiles, p)
+		}
+	}
 	var reports []Report
 	for i, pf := range []PrefetchConfig{PFDefault(), PFStrideStreamer()} {
+		grid := parGrid(sc, len(profiles), len(schemes), func(pi, si int) sim.Result {
+			return runMix(workload.HomogeneousMix(profiles[pi], 4), 4, schemes[si], pf, sc)
+		})
 		tab := metrics.NewTable("workload", "Hawkeye", "Glider", "Mockingjay")
 		var mockWins, rows int
-		for _, name := range fig3Workloads {
-			p, err := workload.ByName(name)
-			if err != nil {
-				continue
-			}
-			base := runMix(workload.HomogeneousMix(p, 4), 4, schemes[0], pf, sc)
-			row := []string{name}
+		for pi, p := range profiles {
+			base := grid[pi][0]
+			row := []string{p.Name}
 			var best float64
 			var bestName string
-			for _, s := range schemes[1:] {
-				r := runMix(workload.HomogeneousMix(p, 4), 4, s, pf, sc)
-				ws := metrics.WeightedSpeedup(r.IPC, base.IPC)
+			for si, s := range schemes[1:] {
+				ws := metrics.WeightedSpeedup(grid[pi][si+1].IPC, base.IPC)
 				row = append(row, metrics.Pct(ws))
 				if ws > best {
 					best, bestName = ws, s.Name

@@ -42,8 +42,7 @@ func Fig11(sc Scale) []Report {
 	for _, cores := range []int{4, 8, 16} {
 		mixes := workload.HeterogeneousMixes(cores, heteroCounts[cores], sc.Seed)
 		gms := map[string][]float64{}
-		for _, m := range mixes {
-			ws, _ := speedups(m.Generators, cores, schemes, pf, hsc)
+		for _, ws := range mixSweep(mixes, cores, schemes, pf, hsc) {
 			for k, v := range ws {
 				gms[k] = append(gms[k], v)
 			}

@@ -77,10 +77,14 @@ func RunnerByID(id string) (Runner, error) {
 // profile must have LLC MPKI > 1 on the baseline system without
 // prefetching (§VI). It returns name -> MPKI.
 func QualifyWorkloads(sc Scale) map[string]float64 {
-	out := map[string]float64{}
-	for _, p := range workload.All() {
-		res := runMix(workload.HomogeneousMix(p, 1), 1, LRUScheme(), PFNone(), sc)
-		out[p.Name] = res.MPKI()
+	ps := workload.All()
+	mpki := parMap(sc, len(ps), func(i int) float64 {
+		res := runMix(workload.HomogeneousMix(ps[i], 1), 1, LRUScheme(), PFNone(), sc)
+		return res.MPKI()
+	})
+	out := make(map[string]float64, len(ps))
+	for i, p := range ps {
+		out[p.Name] = mpki[i]
 	}
 	return out
 }

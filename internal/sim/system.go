@@ -122,7 +122,7 @@ type System struct {
 
 // New assembles a system running the LLC policy built by factory, with one
 // trace generator per core.
-func New(cfg Config, gens []trace.Generator, factory PolicyFactory) *System {
+func New(cfg Config, gens []trace.Generator, factory PolicyFactory) *System { //chromevet:allow aliasshare -- ownership transfer: callers instantiate fresh generators per system (workload.Profile.New)
 	if len(gens) != cfg.Cores {
 		panic(fmt.Sprintf("sim: %d generators for %d cores", len(gens), cfg.Cores))
 	}
@@ -165,12 +165,12 @@ func (s *System) DRAM() *DRAM { return s.dram }
 func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
 
 // SetEvictionTracker installs a Fig. 2 unused-eviction tracker on the LLC.
-func (s *System) SetEvictionTracker(t *cache.ReuseTracker) {
+func (s *System) SetEvictionTracker(t *cache.ReuseTracker) { //chromevet:allow aliasshare -- ownership transfer: one tracker per system
 	s.llc.SetEvictionTracker(t)
 }
 
 // SetBypassTracker installs a Fig. 9 bypass-efficiency tracker on the LLC.
-func (s *System) SetBypassTracker(t *cache.ReuseTracker) {
+func (s *System) SetBypassTracker(t *cache.ReuseTracker) { //chromevet:allow aliasshare -- ownership transfer: one tracker per system
 	s.llc.SetBypassTracker(t)
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync/atomic"
 
 	"chrome/internal/mem"
 	"chrome/internal/trace"
@@ -63,9 +64,24 @@ func profileRegion(name string) uint64 { return hashName(name) % 64 }
 var (
 	profiles     []Profile
 	profileIndex = map[string]int{}
+	// frozen latches once any lookup runs. The registry is write-once at
+	// init time: after the first read it must never change, because the
+	// parallel experiments runner reads it from many goroutines without
+	// locks (the chromevet globalmut analyzer pins the rest of the package
+	// state; this latch turns a late register into a loud panic instead of
+	// a data race).
+	frozen atomic.Bool
 )
 
+func freeze() {
+	//chromevet:allow globalmut -- write-once latch; atomic, idempotent, and register rejects anything after it
+	frozen.Store(true)
+}
+
 func register(name string, suite Suite, build func(region, seed uint64) trace.Generator) {
+	if frozen.Load() {
+		panic("workload: register(" + name + ") after the registry was read; profiles must be registered from init")
+	}
 	if _, dup := profileIndex[name]; dup {
 		panic("workload: duplicate profile " + name)
 	}
@@ -73,8 +89,10 @@ func register(name string, suite Suite, build func(region, seed uint64) trace.Ge
 	profiles = append(profiles, Profile{Name: name, Suite: suite, build: build})
 }
 
-// All returns every registered profile, in registration order.
+// All returns every registered profile, in registration order. Reading the
+// registry freezes it: any later register panics.
 func All() []Profile {
+	freeze()
 	out := make([]Profile, len(profiles))
 	copy(out, profiles)
 	return out
@@ -82,6 +100,7 @@ func All() []Profile {
 
 // BySuite returns the profiles of one suite.
 func BySuite(s Suite) []Profile {
+	freeze()
 	var out []Profile
 	for _, p := range profiles {
 		if p.Suite == s {
@@ -99,6 +118,7 @@ func SPEC() []Profile {
 
 // ByName returns the named profile.
 func ByName(name string) (Profile, error) {
+	freeze()
 	i, ok := profileIndex[name]
 	if !ok {
 		return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
@@ -108,6 +128,7 @@ func ByName(name string) (Profile, error) {
 
 // Names returns the sorted names of all profiles.
 func Names() []string {
+	freeze()
 	out := make([]string, 0, len(profiles))
 	for _, p := range profiles {
 		out = append(out, p.Name)

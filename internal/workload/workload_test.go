@@ -179,3 +179,17 @@ func TestProfileReset(t *testing.T) {
 		}
 	}
 }
+
+func TestRegistryFreezesOnFirstRead(t *testing.T) {
+	// Any lookup latches the registry; a late register must panic loudly
+	// rather than mutate state the parallel runner reads without locks.
+	All()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("register after freeze did not panic")
+		}
+	}()
+	register("zzz-frozen-test", SPEC06, func(rg, seed uint64) trace.Generator {
+		return trace.NewStream(trace.StreamConfig{Name: "zzz", Region: rg, Size: 1 << 20, Seed: seed})
+	})
+}
