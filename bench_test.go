@@ -47,7 +47,9 @@ func benchScale() experiments.Scale {
 }
 
 // runFigure executes a runner once per iteration and reports the summary
-// metrics of the first report.
+// metrics of the first report plus the simulated throughput (sim_MIPS:
+// retired instructions per wall-second — the BENCH_*.json throughput
+// trajectory).
 func runFigure(b *testing.B, id string) {
 	b.Helper()
 	r, err := experiments.RunnerByID(id)
@@ -56,14 +58,24 @@ func runFigure(b *testing.B, id string) {
 	}
 	sc := benchScale()
 	var reports []experiments.Report
+	i0 := experiments.SimulatedInstructions()
 	for i := 0; i < b.N; i++ {
 		reports = r.Run(sc)
 	}
+	reportMIPS(b, experiments.SimulatedInstructions()-i0)
 	if len(reports) == 0 {
 		b.Fatal("runner produced no reports")
 	}
 	for k, v := range reports[0].Summary {
 		b.ReportMetric(v, k)
+	}
+}
+
+// reportMIPS attaches simulated MIPS over the bench's measured window.
+func reportMIPS(b *testing.B, instructions uint64) {
+	b.Helper()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(instructions)/1e6/secs, "sim_MIPS")
 	}
 }
 
@@ -245,11 +257,13 @@ func BenchmarkEndToEnd4Core(b *testing.B) {
 		b.Fatal(err)
 	}
 	pf := experiments.PFDefault()
+	var instructions uint64
 	for i := 0; i < b.N; i++ {
 		cfg := sim.ScaledConfig(4)
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
 		sys := sim.New(cfg, workload.HomogeneousMix(p, 4), experiments.CHROMEScheme(experiments.ChromeConfig()).Factory)
-		sys.Run(10_000, 50_000)
+		instructions += sys.Run(10_000, 50_000).TotalInstructions
 	}
+	reportMIPS(b, instructions)
 }

@@ -84,6 +84,7 @@ func Analyzers() []*Analyzer {
 		analyzerFloatEq(),
 		analyzerGlobalMut(),
 		analyzerConcPrim(),
+		analyzerHotAlloc(),
 	}
 }
 

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// analyzerHotAlloc guards the simulator's zero-allocation contract
+// (DESIGN.md §7): functions annotated "//chromevet:hot" form the certified
+// per-access path, and TestAllocBudget pins their steady-state heap traffic
+// to zero. The annotation is enforced structurally here so a regression is
+// caught at vet time, in the file that introduced it, rather than as an
+// opaque counter bump in the alloc gate. Inside a hot function the analyzer
+// flags:
+//
+//   - make(...) and new(...) — unconditional heap traffic per call;
+//   - &CompositeLit{...} — escapes to the heap whenever the pointer
+//     outlives the frame (the cache.Result.Evicted regression this PR
+//     removed); value composite literals are fine and not flagged;
+//   - append(x, ...) unless x is the reuse idiom — appending into a
+//     buffer re-sliced to zero length (buf[:0], directly or via a local
+//     variable) only grows until the buffer reaches its high-water mark.
+//
+// Bounded appends whose capacity is guaranteed by construction (ring
+// buffers, pre-sized histories) carry a "//chromevet:allow hotalloc"
+// annotation with the invariant spelled out.
+func analyzerHotAlloc() *Analyzer {
+	return &Analyzer{
+		Name:  "hotalloc",
+		Doc:   "allocation inside a //chromevet:hot function",
+		Scope: ScopeInternal,
+		Run:   runHotAlloc,
+	}
+}
+
+func runHotAlloc(pass *Pass) []Finding {
+	var out []Finding
+	for _, f := range pass.P.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotAnnotated(fd) {
+				continue
+			}
+			out = append(out, hotAllocFindings(pass, fd)...)
+		}
+	}
+	return out
+}
+
+// hotAnnotated reports whether the function's doc comment carries the
+// //chromevet:hot directive.
+func hotAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//chromevet:hot" {
+			return true
+		}
+	}
+	return false
+}
+
+// hotAllocFindings inspects one hot function's body for allocation sites.
+func hotAllocFindings(pass *Pass, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	name := fd.Name.Name
+	report := func(at ast.Node, msg string) {
+		out = append(out, Finding{
+			Analyzer: "hotalloc",
+			Pos:      pass.pos(at.Pos()),
+			Message:  fmt.Sprintf("%s in hot function %s: %s", msg, name, "the //chromevet:hot path must not allocate per access"),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass, x) {
+			case "make":
+				report(x, "make(...)")
+			case "new":
+				report(x, "new(...)")
+			case "append":
+				if len(x.Args) > 0 && !isReuseTarget(pass, fd, x.Args[0]) {
+					report(x, "append that can grow its backing array")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x, "&composite literal (escapes to the heap)")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// builtinName returns the name of the Go builtin being called, or "".
+func builtinName(pass *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.P.Info.ObjectOf(id).(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// isReuseTarget reports whether the append target is the sanctioned reuse
+// idiom: a buffer re-sliced to zero length, either inline (buf[:0]) or via
+// a local variable defined as one (kept := buf[:0]; kept = append(kept, ..)).
+func isReuseTarget(pass *Pass, fd *ast.FuncDecl, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if sliceToZero(pass, e) {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.P.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	// Find the := definition of the identifier within this function and
+	// accept it when the right-hand side is a zero-length re-slice.
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != ":=" || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pass.P.Info.ObjectOf(lid) != obj {
+				continue
+			}
+			if sliceToZero(pass, as.Rhs[i]) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sliceToZero reports whether e is a zero-length re-slice: x[:0] or x[0:0].
+func sliceToZero(pass *Pass, e ast.Expr) bool {
+	s, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || s.High == nil {
+		return false
+	}
+	if s.Low != nil && !isConstZero(pass, s.Low) {
+		return false
+	}
+	return isConstZero(pass, s.High)
+}
+
+// isConstZero reports whether e is the integer constant 0.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.P.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	return exact && v == 0
+}

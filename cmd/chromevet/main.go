@@ -16,7 +16,12 @@
 //     mutable objects (aliasshare), and no concurrency primitives inside
 //     the single-threaded core simulator packages (concprim). Together
 //     these certify that simulator instances share no mutable state, so
-//     the experiments runner may execute cells concurrently.
+//     the experiments runner may execute cells concurrently;
+//   - performance: no allocation sites (make/new/escaping composite
+//     literals/growable appends) inside functions annotated
+//     //chromevet:hot — the certified zero-allocation per-access path
+//     whose steady-state heap traffic TestAllocBudget pins to zero
+//     (hotalloc, DESIGN.md §7).
 //
 // Findings can be suppressed line-by-line with a justification comment:
 //

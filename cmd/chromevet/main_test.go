@@ -80,6 +80,7 @@ func fixtureLoader(t *testing.T) *Loader {
 	l.Override("chrome/internal/vetfixture/globalmut", filepath.Join(base, "globalmut"))
 	l.Override("chrome/internal/policy/parfixture", filepath.Join(base, "aliasshare"))
 	l.Override("chrome/internal/cache/parfixture", filepath.Join(base, "concprim"))
+	l.Override("chrome/internal/vetfixture/hotalloc", filepath.Join(base, "hotalloc"))
 	return l
 }
 
@@ -104,6 +105,7 @@ func TestFixtures(t *testing.T) {
 		{"globalmut", "chrome/internal/vetfixture/globalmut", []string{"globalmut"}},
 		{"aliasshare", "chrome/internal/policy/parfixture", []string{"aliasshare"}},
 		{"concprim", "chrome/internal/cache/parfixture", []string{"concprim"}},
+		{"hotalloc", "chrome/internal/vetfixture/hotalloc", []string{"hotalloc"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,97 @@
+// Package fixture exercises the hotalloc analyzer: allocation sites inside
+// functions annotated //chromevet:hot (the simulator's certified
+// zero-allocation per-access path, DESIGN.md §7). Loaded by the driver
+// test under chrome/internal/vetfixture/hotalloc so the internal scope
+// applies.
+package fixture
+
+type record struct {
+	addr uint64
+	used bool
+}
+
+type tracker struct {
+	buf     []uint64
+	history []record
+	last    *record
+}
+
+// freshSlice allocates a new buffer per call.
+//
+//chromevet:hot
+func (t *tracker) freshSlice(n int) {
+	t.buf = make([]uint64, 0, n) // want hotalloc "make"
+}
+
+// freshPointer heap-allocates with new per call.
+//
+//chromevet:hot
+func (t *tracker) freshPointer() {
+	t.last = new(record) // want hotalloc "new"
+}
+
+// escapingLiteral stores a pointer to a composite literal, the exact shape
+// of the cache.Result.Evicted regression.
+//
+//chromevet:hot
+func (t *tracker) escapingLiteral(addr uint64) {
+	t.last = &record{addr: addr} // want hotalloc "composite literal"
+}
+
+// growingAppend appends to a field whose capacity nothing bounds.
+//
+//chromevet:hot
+func (t *tracker) growingAppend(addr uint64) {
+	t.history = append(t.history, record{addr: addr}) // want hotalloc "append"
+}
+
+// boundedAppend is the sanctioned suppression for capacity guaranteed by
+// construction: no finding, because the allow comment documents the
+// invariant.
+//
+//chromevet:hot
+func (t *tracker) boundedAppend(v uint64) {
+	if len(t.buf) == cap(t.buf) {
+		t.buf = t.buf[:0]
+	}
+	t.buf = append(t.buf, v) //chromevet:allow hotalloc -- ring reset above keeps len < cap
+}
+
+// reuseInline appends into an inline zero-length re-slice: the reuse idiom,
+// not flagged.
+//
+//chromevet:hot
+func (t *tracker) reuseInline(v uint64) {
+	t.buf = append(t.buf[:0], v)
+}
+
+// reuseViaLocal compacts through a local defined as a zero-length re-slice
+// of the backing buffer (the mshr.prune shape): not flagged.
+//
+//chromevet:hot
+func (t *tracker) reuseViaLocal(now uint64) {
+	kept := t.buf[:0]
+	for _, b := range t.buf {
+		if b > now {
+			kept = append(kept, b)
+		}
+	}
+	t.buf = kept
+}
+
+// valueLiteral returns a composite literal by value: stack-allocated, not
+// flagged.
+//
+//chromevet:hot
+func valueLiteral(addr uint64) record {
+	return record{addr: addr, used: true}
+}
+
+// coldAlloc has no hot annotation, so its allocations are none of the
+// analyzer's business.
+func (t *tracker) coldAlloc(n int) {
+	t.buf = make([]uint64, n)
+	t.last = &record{}
+}
+
+var _ = []any{valueLiteral, (*tracker).freshSlice, (*tracker).freshPointer, (*tracker).escapingLiteral, (*tracker).growingAppend, (*tracker).boundedAppend, (*tracker).reuseInline, (*tracker).reuseViaLocal, (*tracker).coldAlloc}

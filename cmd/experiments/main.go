@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -39,11 +40,43 @@ func main() {
 		outdir  = flag.String("outdir", "", "also write each report as CSV into this directory")
 		mdOut   = flag.String("md", "", "also write all reports as a markdown results document")
 		jobs    = flag.Int("j", runtime.NumCPU(), "worker pool size for independent simulation cells (1 = sequential)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "-j must be >= 1 (got %d)\n", *jobs)
 		os.Exit(2)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush outstanding allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -107,6 +140,7 @@ func main() {
 	var all []experiments.Report
 	for _, r := range runners {
 		t0 := time.Now()
+		i0 := experiments.SimulatedInstructions()
 		for _, rep := range r.Run(sc) {
 			fmt.Println(rep)
 			all = append(all, rep)
@@ -116,9 +150,13 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("(%s completed in %s)\n\n", r.ID, time.Since(t0).Round(time.Second))
+		fmt.Printf("(%s completed in %s, %s)\n\n", r.ID,
+			time.Since(t0).Round(time.Second),
+			mips(experiments.SimulatedInstructions()-i0, time.Since(t0)))
 	}
-	fmt.Printf("suite completed in %s at scale=%s\n", time.Since(start).Round(time.Second), *scale)
+	fmt.Printf("suite completed in %s at scale=%s (%s)\n",
+		time.Since(start).Round(time.Second), *scale,
+		mips(experiments.SimulatedInstructions(), time.Since(start)))
 	if *mdOut != "" {
 		if err := os.WriteFile(*mdOut, []byte(markdownReport(all, *scale, sc, time.Since(start))), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "md:", err)
@@ -126,6 +164,16 @@ func main() {
 		}
 		fmt.Println("wrote", *mdOut)
 	}
+}
+
+// mips formats simulated throughput: retired instructions per wall-second,
+// in millions. This is the simulator-speed metric, not the modeled IPC.
+func mips(instructions uint64, elapsed time.Duration) string {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		return "simulated MIPS n/a"
+	}
+	return fmt.Sprintf("simulated %.2f MIPS", float64(instructions)/1e6/secs)
 }
 
 // markdownReport renders all reports as a results document.

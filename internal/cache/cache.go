@@ -131,13 +131,22 @@ type Config struct {
 }
 
 // Result reports the outcome of one access.
+//
+// Evicted is stored by value (with EvictedValid as the presence flag) so
+// that returning a Result never heap-allocates: the eviction path runs on
+// every fill of a warm cache, and a per-eviction *Evicted was the dominant
+// allocation of the whole simulator (see DESIGN.md §7).
 type Result struct {
 	// Hit reports whether the access hit.
 	Hit bool
 	// Bypassed reports that the policy chose not to cache a missing block.
 	Bypassed bool
-	// Evicted holds the evicted victim when a fill displaced a valid line.
-	Evicted *Evicted
+	// EvictedValid reports that a fill displaced a valid line, described by
+	// Evicted.
+	EvictedValid bool
+	// Evicted describes the displaced victim; meaningful only when
+	// EvictedValid is true.
+	Evicted Evicted
 	// FirstUse reports a demand hit on a prefetched, not-yet-used line.
 	FirstUse bool
 	// Block points at the hit or freshly filled line (nil on bypass and on
@@ -228,6 +237,8 @@ func (c *Cache) set(idx int) []Block {
 }
 
 // Probe reports whether the address is present, without side effects.
+//
+//chromevet:hot
 func (c *Cache) Probe(a mem.Addr) bool {
 	tag := a.BlockNumber()
 	for _, b := range c.set(c.SetIndex(a)) {
@@ -242,6 +253,8 @@ func (c *Cache) Probe(a mem.Addr) bool {
 // policy metadata; a miss consults the policy for a victim or bypass and
 // performs the fill. Writeback requests update a present line in place and
 // never allocate (non-inclusive hierarchy; misses propagate down).
+//
+//chromevet:hot
 func (c *Cache) Access(acc mem.Access) Result {
 	setIdx := c.SetIndex(acc.Addr)
 	set := c.set(setIdx)
@@ -275,6 +288,7 @@ func (c *Cache) Access(acc mem.Access) Result {
 	return res
 }
 
+//chromevet:hot
 func (c *Cache) onHit(setIdx, way int, set []Block, acc mem.Access) Result {
 	b := &set[way]
 	b.LastTouch = acc.Cycle
@@ -304,6 +318,7 @@ func (c *Cache) onHit(setIdx, way int, set []Block, acc mem.Access) Result {
 	return res
 }
 
+//chromevet:hot
 func (c *Cache) onMiss(setIdx int, set []Block, acc mem.Access) Result {
 	switch acc.Type {
 	case mem.Load:
@@ -347,7 +362,8 @@ func (c *Cache) onMiss(setIdx int, set []Block, acc mem.Access) Result {
 		if victim.Dirty {
 			c.stats.Writebacks++
 		}
-		res.Evicted = &Evicted{
+		res.EvictedValid = true
+		res.Evicted = Evicted{
 			Addr:       mem.Addr(victim.Tag << mem.BlockShift),
 			Dirty:      victim.Dirty,
 			Used:       victim.Used,

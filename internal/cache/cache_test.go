@@ -65,7 +65,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	// Touch the first block so the second becomes LRU.
 	c.Access(load(0x0000, 3))
 	res := c.Access(load(0x0080, 4))
-	if res.Hit || res.Evicted == nil {
+	if res.Hit || !res.EvictedValid {
 		t.Fatal("expected an eviction on the third distinct block")
 	}
 	if res.Evicted.Addr != 0x0040 {
@@ -80,7 +80,7 @@ func TestDirtyEvictionIsWriteback(t *testing.T) {
 	c := newTestCache(t, 1, 1)
 	c.Access(mem.Access{Addr: 0x0, Type: mem.Store, Cycle: 1})
 	res := c.Access(load(0x40, 2))
-	if res.Evicted == nil || !res.Evicted.Dirty {
+	if !res.EvictedValid || !res.Evicted.Dirty {
 		t.Fatal("expected a dirty eviction after a store")
 	}
 	if c.Stats().Writebacks != 1 {

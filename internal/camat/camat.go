@@ -56,6 +56,8 @@ func New(cores int, tMem float64, epochCycles uint64) *Monitor {
 
 // Record registers one LLC access from core starting at cycle start and
 // taking latency cycles to complete (hit or miss; prefetch or demand).
+//
+//chromevet:hot
 func (m *Monitor) Record(core int, start, latency uint64) {
 	cs := &m.cores[core]
 	epoch := start / m.epochCycles
@@ -83,6 +85,7 @@ func (cs *coreState) reset() {
 	cs.accesses = 0
 }
 
+//chromevet:hot
 func (m *Monitor) rollEpoch(cs *coreState, newEpoch uint64) {
 	if cs.accesses > 0 {
 		camat := float64(cs.activeCycles) / float64(cs.accesses)
@@ -96,6 +99,8 @@ func (m *Monitor) rollEpoch(cs *coreState, newEpoch uint64) {
 
 // Obstructed reports whether the core was classified as LLC-obstructed in
 // its most recently completed epoch.
+//
+//chromevet:hot
 func (m *Monitor) Obstructed(core int) bool {
 	if core < 0 || core >= len(m.cores) {
 		return false

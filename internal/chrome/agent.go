@@ -113,11 +113,15 @@ const maxCores = 64
 // outcome, is_prefetch bit and core id — plus the physical page number).
 // It also advances the per-core feature history, so it must be called
 // exactly once per LLC access.
+//
+//chromevet:hot
 func (a *Agent) state(acc mem.Access, hit bool) State {
 	return a.ext.state(acc, hit)
 }
 
 // obstructed reports the concurrency-aware feedback for a core.
+//
+//chromevet:hot
 func (a *Agent) obstructed(core int) bool {
 	return a.cfg.ConcurrencyAware && a.Obstructed != nil && a.Obstructed(core)
 }
@@ -126,6 +130,8 @@ func (a *Agent) obstructed(core int) bool {
 // request re-references an address recorded in the EQ, the recorded action
 // earns R_AC (request hit) or R_IN (request missed), at demand or prefetch
 // magnitude.
+//
+//chromevet:hot
 func (a *Agent) assignAccuracyReward(q int, acc mem.Access, hit bool) {
 	e := a.eq.Find(q, HashAddr(acc.Addr))
 	if e == nil {
@@ -157,6 +163,8 @@ func (a *Agent) assignAccuracyReward(q int, acc mem.Access, hit bool) {
 // a hit were "accurate no-reuse" predictions (R_AC-NR); anything else kept
 // a dead block (R_IN-NR). The magnitude depends on whether the entry's core
 // is LLC-obstructed.
+//
+//chromevet:hot
 func (a *Agent) nrReward(e EQEntry) int8 {
 	r := &a.cfg.Rewards
 	ob := a.obstructed(int(e.Core))
@@ -182,6 +190,8 @@ func (a *Agent) nrReward(e EQEntry) int8 {
 // EQ entry; on queue overflow assign the NR reward if needed and apply the
 // SARSA update using the evicted entry as (S1, A1) and the queue head as
 // (S2, A2).
+//
+//chromevet:hot
 func (a *Agent) record(q int, entry EQEntry) {
 	old, evicted := a.eq.Insert(q, entry)
 	if !evicted {
@@ -202,6 +212,8 @@ func (a *Agent) record(q int, entry EQEntry) {
 }
 
 // pfIndex indexes the action histograms: 0 demand, 1 prefetch.
+//
+//chromevet:hot
 func pfIndex(acc mem.Access) int {
 	if acc.IsPrefetch() {
 		return 1
@@ -210,6 +222,8 @@ func pfIndex(acc mem.Access) int {
 }
 
 // choose implements the ε-greedy action selection (Algorithm 1 lines 10-19).
+//
+//chromevet:hot
 func (a *Agent) choose(s State, hit bool) Action {
 	a.stats.Decisions++
 	if a.cfg.Epsilon > 0 && a.rng.Float64() < a.cfg.Epsilon {
@@ -226,6 +240,8 @@ func (a *Agent) choose(s State, hit bool) Action {
 // Victim implements cache.Policy for LLC misses: reward matching, action
 // selection (bypass or insert-with-EPV), EQ recording, and EPV-based victim
 // selection.
+//
+//chromevet:hot
 func (a *Agent) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
 	q := a.sampler.Index(set)
 	if q >= 0 {
@@ -257,6 +273,7 @@ func (a *Agent) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool
 	return a.victimByEPV(set, blocks), false
 }
 
+//chromevet:hot
 func (a *Agent) invalidWay(blocks []cache.Block) int {
 	for w := range blocks {
 		if !blocks[w].Valid {
@@ -270,6 +287,8 @@ func (a *Agent) invalidWay(blocks []cache.Block) int {
 // ties break toward the least recently touched line. (No aging: evicting
 // the max-EPV line directly preserves the learned priorities of the
 // remaining lines; see DESIGN.md §4.2 and BenchmarkAblationVictim.)
+//
+//chromevet:hot
 func (a *Agent) victimByEPV(set int, blocks []cache.Block) int {
 	epv := a.epv[set]
 	best, bestEPV, bestTouch := 0, int(-1), ^uint64(0)
@@ -284,6 +303,8 @@ func (a *Agent) victimByEPV(set int, blocks []cache.Block) int {
 
 // OnHit implements cache.Policy for LLC hits: reward matching, promotion
 // action selection, EPV update, and EQ recording.
+//
+//chromevet:hot
 func (a *Agent) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 	q := a.sampler.Index(set)
 	if q >= 0 {
@@ -308,6 +329,8 @@ func (a *Agent) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 
 // OnFill implements cache.Policy: apply the EPV chosen by the preceding
 // Victim call for this access.
+//
+//chromevet:hot
 func (a *Agent) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
 	if a.pendingValid {
 		a.epv[set][way] = a.pendingEPV
@@ -318,6 +341,8 @@ func (a *Agent) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
 }
 
 // OnEvict implements cache.Policy.
+//
+//chromevet:hot
 func (a *Agent) OnEvict(set, way int, _ []cache.Block) {
 	a.epv[set][way] = 2
 }

@@ -29,6 +29,8 @@ type EQEntry struct {
 }
 
 // HashAddr produces the 16-bit block-address hash stored in EQ entries.
+//
+//chromevet:hot
 func HashAddr(a mem.Addr) uint16 {
 	return uint16(mem.FoldHash(a.BlockNumber(), 16))
 }
@@ -71,6 +73,8 @@ func (eq *EQ) Len(q int) int { return eq.queues[q].n }
 
 // Find returns the oldest unrewarded entry in queue q whose address hash
 // matches, or nil.
+//
+//chromevet:hot
 func (eq *EQ) Find(q int, addrHash uint16) *EQEntry {
 	r := &eq.queues[q]
 	for i := 0; i < r.n; i++ {
@@ -84,6 +88,8 @@ func (eq *EQ) Find(q int, addrHash uint16) *EQEntry {
 
 // Insert appends an entry to queue q. When the queue is full the oldest
 // entry is evicted and returned with evicted=true.
+//
+//chromevet:hot
 func (eq *EQ) Insert(q int, e EQEntry) (old EQEntry, evicted bool) {
 	r := &eq.queues[q]
 	if r.n == eq.depth {
@@ -99,6 +105,8 @@ func (eq *EQ) Insert(q int, e EQEntry) (old EQEntry, evicted bool) {
 
 // Head returns the oldest entry of queue q (the SARSA successor
 // state-action after an eviction), or nil when the queue is empty.
+//
+//chromevet:hot
 func (eq *EQ) Head(q int) *EQEntry {
 	r := &eq.queues[q]
 	if r.n == 0 {

@@ -96,6 +96,8 @@ type featureContext struct {
 
 // observe advances the context with a new access and returns the delta of
 // this access relative to the previous one (0 on the first access).
+//
+//chromevet:hot
 func (fc *featureContext) observe(pc uint64, addr mem.Addr) int64 {
 	blk := addr.BlockNumber()
 	var delta int64
@@ -112,6 +114,7 @@ func (fc *featureContext) observe(pc uint64, addr mem.Addr) int64 {
 	return delta
 }
 
+//chromevet:hot
 func (fc *featureContext) pcHistHash() uint64 {
 	var h uint64
 	for i, pc := range fc.pcHist {
@@ -120,6 +123,7 @@ func (fc *featureContext) pcHistHash() uint64 {
 	return h
 }
 
+//chromevet:hot
 func (fc *featureContext) deltaHistHash() uint64 {
 	var h uint64
 	for i, d := range fc.deltaHist {
@@ -150,6 +154,8 @@ func newExtractor(kinds []FeatureKind, cores int) *extractor {
 
 // pcBase folds the paper's signature bits (hit/miss, is_prefetch, core)
 // into the raw PC.
+//
+//chromevet:hot
 func pcBase(acc mem.Access, hit bool) uint64 {
 	x := acc.PC
 	if hit {
@@ -164,6 +170,8 @@ func pcBase(acc mem.Access, hit bool) uint64 {
 
 // state computes the feature vector for one access, advancing the per-core
 // context exactly once.
+//
+//chromevet:hot
 func (e *extractor) state(acc mem.Access, hit bool) State {
 	core := acc.Core
 	if core < 0 || core >= len(e.ctx) {

@@ -83,7 +83,7 @@ func TestEPVPersistsAcrossAccesses(t *testing.T) {
 	if res.Bypassed {
 		t.Skip("agent chose bypass; EPV eviction not exercised")
 	}
-	if res.Evicted == nil || res.Evicted.Addr != 0x00 {
+	if !res.EvictedValid || res.Evicted.Addr != 0x00 {
 		t.Fatalf("evicted %+v, want the EPV2 block 0x00", res.Evicted)
 	}
 }

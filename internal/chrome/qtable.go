@@ -63,6 +63,8 @@ type State struct {
 }
 
 // NewState builds a state vector from explicit feature values.
+//
+//chromevet:hot
 func NewState(values ...uint64) State {
 	if len(values) == 0 || len(values) > MaxStateFeatures {
 		panic("chrome: state must have 1..MaxStateFeatures values")
@@ -124,11 +126,15 @@ func NewQTable(cfg Config) *QTable {
 
 // index returns the sub-table slot for a feature value. Each sub-table
 // XORs the feature with a distinct constant before hashing (paper §V-C).
+//
+//chromevet:hot
 func (qt *QTable) index(sub int, feature uint64) uint64 {
 	return mem.Mix64(feature^(0x9E3779B97F4A7C15*uint64(sub+1))) & qt.mask
 }
 
 // featureQ returns Q(f_i, a) for feature index fi of the state.
+//
+//chromevet:hot
 func (qt *QTable) featureQ(fi int, s State, a Action) float64 {
 	var sum int32
 	for t := 0; t < qt.cfg.SubTables; t++ {
@@ -140,6 +146,8 @@ func (qt *QTable) featureQ(fi int, s State, a Action) float64 {
 
 // Q returns the state-action value Q(S, A) (paper §V-C: the max across
 // features of the per-feature Q-values).
+//
+//chromevet:hot
 func (qt *QTable) Q(s State, a Action) float64 {
 	switch qt.cfg.Compose {
 	case ComposeSum:
@@ -166,6 +174,8 @@ var missActionOrder = [NumActions]Action{ActionEPV0, ActionEPV1, ActionEPV2, Act
 
 // BestAction returns the argmax action for the state over the legal action
 // set (miss: all four; hit: the three EPV actions) and its Q-value.
+//
+//chromevet:hot
 func (qt *QTable) BestAction(s State, hit bool) (Action, float64) {
 	if hit {
 		best, bestQ := ActionEPV0, qt.Q(s, ActionEPV0)
@@ -193,6 +203,8 @@ func (qt *QTable) BestAction(s State, hit bool) (Action, float64) {
 // only ever reads the larger one back; see DESIGN.md §4.1.) Stochastic
 // rounding (driven by rnd, a uniform value in [0,1)) preserves learning for
 // small α despite the 16-bit quantization.
+//
+//chromevet:hot
 func (qt *QTable) Update(s State, a Action, target, rnd float64) {
 	qt.updates++
 	for fi := 0; fi < qt.n; fi++ {
@@ -214,6 +226,8 @@ func (qt *QTable) Updates() uint64 { return qt.updates }
 
 // quantize rounds x stochastically using rnd ∈ [0,1): the result is
 // floor(x) + 1 with probability frac(x).
+//
+//chromevet:hot
 func quantize(x, rnd float64) int32 {
 	f := math.Floor(x)
 	if rnd < x-f {
@@ -229,6 +243,8 @@ func quantize(x, rnd float64) int32 {
 }
 
 // satAdd16 adds with int16 saturation.
+//
+//chromevet:hot
 func satAdd16(a, b int16) int16 {
 	s := int32(a) + int32(b)
 	if s > math.MaxInt16 {

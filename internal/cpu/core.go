@@ -84,6 +84,8 @@ func (c *Core) MemAccesses() uint64 { return c.memAccesses }
 
 // issueSlot computes the issue cycle for the next instruction honoring
 // bandwidth, ROB occupancy, and (for dependent loads) the previous load.
+//
+//chromevet:hot
 func (c *Core) issueSlot(minCycle uint64) uint64 {
 	if c.pos >= uint64(c.cfg.ROB) {
 		if r := c.retireRing[c.pos%uint64(c.cfg.ROB)]; r > minCycle {
@@ -102,6 +104,8 @@ func (c *Core) issueSlot(minCycle uint64) uint64 {
 }
 
 // completeOne books an instruction's completion and in-order retirement.
+//
+//chromevet:hot
 func (c *Core) completeOne(complete uint64) {
 	retire := complete
 	if c.lastRetire > retire {
@@ -115,6 +119,8 @@ func (c *Core) completeOne(complete uint64) {
 
 // Step executes one trace record: its compute-gap instructions followed by
 // the memory instruction itself.
+//
+//chromevet:hot
 func (c *Core) Step() {
 	rec := c.gen.Next()
 	for i := uint8(0); i < rec.Gap; i++ {

@@ -281,6 +281,7 @@ func runMix(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig,
 	sys := sim.New(cfg, gens, scheme.Factory)
 	res := sys.Run(sc.Warmup, sc.Measure)
 	res.PolicyName = scheme.Name
+	countInstructions(res)
 	return res
 }
 

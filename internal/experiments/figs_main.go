@@ -120,6 +120,7 @@ func Fig9(sc Scale) []Report {
 		tracker := cache.NewReuseTracker(0)
 		sys.SetBypassTracker(tracker)
 		res := sys.Run(sc.Warmup, sc.Measure)
+		countInstructions(res)
 		var c cell
 		if incoming := res.LLC.Bypasses + res.LLC.Fills; incoming > 0 {
 			c.coverage = float64(res.LLC.Bypasses) / float64(incoming)

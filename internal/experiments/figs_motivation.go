@@ -118,6 +118,7 @@ func Fig2(sc Scale) []Report {
 		tracker := cache.NewReuseTracker(0)
 		sys.SetEvictionTracker(tracker)
 		res := sys.Run(sc.Warmup, sc.Measure)
+		countInstructions(res)
 		st := res.LLC
 		if st.Evictions == 0 {
 			return cell{}

@@ -51,6 +51,11 @@ func NewMockingjay(sets, ways, sampled int) *Mockingjay {
 		bypassRDPF: window,     // prefetches bypass at the window edge
 	}
 	m.samples = make([][]mjSample, m.sampler.Count())
+	for i := range m.samples {
+		// Pre-size each sampled-set history to its 8*ways bound so train()
+		// never grows it on the per-access path.
+		m.samples[i] = make([]mjSample, 0, 8*ways)
+	}
 	for s := 0; s < sets; s++ {
 		m.nextUse[s] = make([]uint64, ways)
 	}
@@ -66,6 +71,8 @@ func (m *Mockingjay) sig(acc mem.Access) uint64 {
 
 // train measures reuse distances on sampled sets and updates the RDP with
 // a temporal-difference step toward each new sample.
+//
+//chromevet:hot
 func (m *Mockingjay) train(set int, acc mem.Access) {
 	si := m.sampler.Index(set)
 	if si < 0 {
@@ -99,9 +106,12 @@ func (m *Mockingjay) train(set int, acc mem.Access) {
 	hist = kept
 	if len(hist) >= 8*m.ways {
 		m.update(hist[0].sig, m.maxRD)
-		hist = hist[1:]
+		// Copy down instead of re-slicing hist[1:]: front-slicing strands
+		// capacity and makes the append below reallocate periodically.
+		copy(hist, hist[1:])
+		hist = hist[:len(hist)-1]
 	}
-	m.samples[si] = append(hist, mjSample{block: block, sig: m.sig(acc), time: now})
+	m.samples[si] = append(hist, mjSample{block: block, sig: m.sig(acc), time: now}) //chromevet:allow hotalloc -- len < 8*ways here and cap is pre-sized to 8*ways in NewMockingjay
 }
 
 // update moves the prediction for sig an eighth of the way to the sample.
@@ -127,6 +137,8 @@ func (m *Mockingjay) predictRD(acc mem.Access) uint16 {
 // Victim implements cache.Policy: bypass blocks predicted to reuse beyond
 // the threshold; otherwise evict the line with the latest predicted next
 // use (largest estimated time remaining).
+//
+//chromevet:hot
 func (m *Mockingjay) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
 	m.train(set, acc)
 	m.clock[set]++
@@ -177,6 +189,8 @@ func (m *Mockingjay) Victim(set int, blocks []cache.Block, acc mem.Access) (int,
 }
 
 // OnHit implements cache.Policy.
+//
+//chromevet:hot
 func (m *Mockingjay) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 	m.train(set, acc)
 	m.clock[set]++
@@ -184,6 +198,8 @@ func (m *Mockingjay) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 }
 
 // OnFill implements cache.Policy.
+//
+//chromevet:hot
 func (m *Mockingjay) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
 	m.nextUse[set][way] = m.clock[set] + uint64(m.predictRD(acc))
 }

@@ -49,6 +49,8 @@ const (
 // decision is now adjudicated) together with that access's signature and
 // context. The current access is then recorded with sig/ctx for future
 // adjudication.
+//
+//chromevet:hot
 func (g *optGen) Access(block, sig uint64, ctx [pchrDepth]uint16) (optLabel, uint64, [pchrDepth]uint16) {
 	now := g.clock
 	g.clock++
@@ -63,7 +65,7 @@ func (g *optGen) Access(block, sig uint64, ctx [pchrDepth]uint16) (optLabel, uin
 	for i := range g.history {
 		if g.history[i].block == block {
 			prev := g.history[i]
-			g.history = append(g.history[:i], g.history[i+1:]...)
+			g.history = append(g.history[:i], g.history[i+1:]...) //chromevet:allow hotalloc -- in-place removal: result is shorter than the input slice, never grows
 			prevSig, prevCtx = prev.sig, prev.ctx
 			if now-prev.time < uint64(g.window) {
 				if g.intervalFits(prev.time, now) {
@@ -78,10 +80,14 @@ func (g *optGen) Access(block, sig uint64, ctx [pchrDepth]uint16) (optLabel, uin
 	}
 
 	// Record the current access, bounding the history to the window size.
+	// Copy down rather than re-slicing history[1:]: front-slicing strands
+	// the capacity newOptGen preallocated and the append below would then
+	// reallocate once per window.
 	if len(g.history) >= g.window {
-		g.history = g.history[1:]
+		copy(g.history, g.history[1:])
+		g.history = g.history[:len(g.history)-1]
 	}
-	g.history = append(g.history, optRef{block: block, time: now, sig: sig, ctx: ctx})
+	g.history = append(g.history, optRef{block: block, time: now, sig: sig, ctx: ctx}) //chromevet:allow hotalloc -- len < window here and cap is pre-sized to window in newOptGen
 	return label, prevSig, prevCtx
 }
 

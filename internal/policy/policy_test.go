@@ -133,7 +133,7 @@ func TestSRRIPPromotionAndAging(t *testing.T) {
 	a(0x040, 2)
 	a(0x000, 3) // promote block 0 to RRPV 0
 	res := a(0x080, 4)
-	if res.Evicted == nil || res.Evicted.Addr != 0x040 {
+	if !res.EvictedValid || res.Evicted.Addr != 0x040 {
 		t.Fatalf("SRRIP should evict the non-promoted block, got %+v", res.Evicted)
 	}
 }

@@ -78,6 +78,8 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 
 // Access performs one 64-byte transfer starting no earlier than cycle and
 // returns its total latency (queueing + row access + burst).
+//
+//chromevet:hot
 func (d *DRAM) Access(addr mem.Addr, cycle uint64, write bool) uint64 {
 	blk := addr.BlockNumber()
 	ch := int(blk & uint64(d.cfg.Channels-1))
@@ -160,6 +162,8 @@ func newMSHR(entries int) *mshr {
 
 // acquire prunes completed entries at `start` and, if the file is full,
 // delays start until the earliest outstanding miss completes.
+//
+//chromevet:hot
 func (m *mshr) acquire(start uint64) uint64 {
 	m.noteAcquire()
 	m.prune(start)
@@ -184,12 +188,16 @@ func (m *mshr) acquire(start uint64) uint64 {
 }
 
 // commit registers an outstanding miss completing at the given cycle.
+//
+//chromevet:hot
 func (m *mshr) commit(complete uint64) {
-	m.busy = append(m.busy, complete)
+	m.busy = append(m.busy, complete) //chromevet:allow hotalloc -- len < cap invariant: acquire blocks until below capacity, and busy is pre-sized to cap in newMSHR
 	m.noteCommit(len(m.busy), m.cap)
 }
 
 // prune drops entries that completed at or before now.
+//
+//chromevet:hot
 func (m *mshr) prune(now uint64) {
 	kept := m.busy[:0]
 	for _, b := range m.busy {

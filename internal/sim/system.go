@@ -113,7 +113,14 @@ type System struct {
 	dram  *DRAM
 	mon   *camat.Monitor
 
-	pfBuf []mem.Addr
+	// pfBuf and l2pfBuf are reused prefetch-candidate scratch buffers (one
+	// per training site so a buffer is never both iterated and refilled);
+	// they keep the per-access path allocation-free.
+	pfBuf   []mem.Addr
+	l2pfBuf []mem.Addr
+
+	// sched is the scratch backing of runPhase's core min-heap.
+	sched []*cpu.Core
 
 	// prefetch accounting (issued at each level)
 	l1PrefetchesIssued uint64
@@ -149,6 +156,7 @@ func New(cfg Config, gens []trace.Generator, factory PolicyFactory) *System { //
 		core := cpu.New(i, cfg.CPU, gens[i], s.memAccess)
 		s.cores = append(s.cores, core)
 	}
+	s.sched = make([]*cpu.Core, 0, cfg.Cores)
 	return s
 }
 
@@ -176,6 +184,8 @@ func (s *System) SetBypassTracker(t *cache.ReuseTracker) { //chromevet:allow ali
 
 // memAccess is the cpu.MemFunc: it walks the hierarchy for one demand
 // access and returns the load-to-use latency.
+//
+//chromevet:hot
 func (s *System) memAccess(core int, rec trace.Record, cycle uint64) uint64 {
 	typ := mem.Load
 	if rec.Write {
@@ -187,6 +197,8 @@ func (s *System) memAccess(core int, rec trace.Record, cycle uint64) uint64 {
 
 // l1Access serves a demand access at the L1, recursing into L2/LLC/DRAM on
 // misses and triggering the L1 prefetcher.
+//
+//chromevet:hot
 func (s *System) l1Access(acc mem.Access) uint64 {
 	core := acc.Core
 	l1 := s.l1[core]
@@ -219,8 +231,9 @@ func (s *System) l1Access(acc mem.Access) uint64 {
 	return latency
 }
 
+//chromevet:hot
 func (s *System) handleL1Eviction(core int, res cache.Result, cycle uint64) {
-	if res.Evicted == nil || !res.Evicted.Dirty {
+	if !res.EvictedValid || !res.Evicted.Dirty {
 		return
 	}
 	wb := mem.Access{Addr: res.Evicted.Addr, Type: mem.Writeback, Core: core, Cycle: cycle}
@@ -233,6 +246,8 @@ func (s *System) handleL1Eviction(core int, res cache.Result, cycle uint64) {
 
 // l2Access serves an access at the private L2. demand marks accesses on the
 // core's critical path (L1 demand misses); prefetch traffic sets it false.
+//
+//chromevet:hot
 func (s *System) l2Access(acc mem.Access, demand bool) uint64 {
 	core := acc.Core
 	l2 := s.l2[core]
@@ -254,7 +269,7 @@ func (s *System) l2Access(acc mem.Access, demand bool) uint64 {
 		if res.Block != nil {
 			res.Block.ReadyAt = done
 		}
-		if res.Evicted != nil && res.Evicted.Dirty {
+		if res.EvictedValid && res.Evicted.Dirty {
 			// Writebacks drain from "now": they are off the critical path and
 			// must not be scheduled at the miss's completion time, or queue
 			// wait would compound into a feedback loop.
@@ -263,14 +278,21 @@ func (s *System) l2Access(acc mem.Access, demand bool) uint64 {
 	}
 
 	if demand && acc.Type.IsDemand() {
-		// Train the L2 prefetcher on demand traffic reaching the L2.
-		buf := s.l2pf[core].Train(acc, res.Hit, nil)
-		s.issuePrefetches(core, acc, buf, false)
+		// Train the L2 prefetcher on demand traffic reaching the L2. A
+		// dedicated scratch buffer (not s.pfBuf) is reused across calls:
+		// the L1 trainer's buffer is still being iterated by
+		// issuePrefetches when prefetch fills recurse into l2Access, but
+		// that recursion has demand=false so l2pfBuf is never refilled
+		// while in use.
+		s.l2pfBuf = s.l2pf[core].Train(acc, res.Hit, s.l2pfBuf[:0])
+		s.issuePrefetches(core, acc, s.l2pfBuf, false)
 	}
 	return latency
 }
 
 // llcAccess serves an access at the shared LLC, recording C-AMAT activity.
+//
+//chromevet:hot
 func (s *System) llcAccess(acc mem.Access) uint64 {
 	res := s.llc.Access(acc)
 	latency := s.cfg.LLCLatency
@@ -287,7 +309,7 @@ func (s *System) llcAccess(acc mem.Access) uint64 {
 		if res.Block != nil {
 			res.Block.ReadyAt = acc.Cycle + latency
 		}
-		if res.Evicted != nil && res.Evicted.Dirty {
+		if res.EvictedValid && res.Evicted.Dirty {
 			// Dirty victims drain through the write buffer from "now"; their
 			// completion is off every critical path.
 			s.dram.Access(res.Evicted.Addr, acc.Cycle, true)
@@ -298,6 +320,8 @@ func (s *System) llcAccess(acc mem.Access) uint64 {
 }
 
 // llcWriteback sends a dirty line down to the LLC (or DRAM on LLC miss).
+//
+//chromevet:hot
 func (s *System) llcWriteback(wb mem.Access) {
 	res := s.llc.Access(wb)
 	if !res.Hit {
@@ -309,6 +333,8 @@ func (s *System) llcWriteback(wb mem.Access) {
 // prefetches (fromL1) fill L1, L2 and LLC; L2 prefetches fill L2 and LLC.
 // Prefetch latency is off the core's critical path but occupies MSHRs,
 // DRAM bandwidth, and cache capacity.
+//
+//chromevet:hot
 func (s *System) issuePrefetches(core int, trigger mem.Access, cands []mem.Addr, fromL1 bool) {
 	n := 0
 	for _, target := range cands {
@@ -366,8 +392,80 @@ func (s *System) Run(warmup, measure uint64) Result {
 }
 
 // runPhase steps cores (smallest issue frontier first) until every core
-// has retired at least target instructions.
+// has retired at least target instructions. It keeps the live cores in a
+// binary min-heap keyed on (cycle, core ID), turning each scheduling
+// decision from an O(cores) scan into an O(log cores) sift — the same
+// total order the scan produced (ties broken by lowest core index), so
+// simulation output is byte-identical. runPhaseLinear preserves the scan
+// as the test oracle.
+//
+//chromevet:hot
 func (s *System) runPhase(target uint64) {
+	h := s.sched[:0]
+	for _, c := range s.cores {
+		if c.Instructions() < target {
+			h = append(h, c)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	for len(h) > 0 {
+		c := h[0]
+		c.Step()
+		if c.Instructions() >= target {
+			last := len(h) - 1
+			h[0] = h[last]
+			h[last] = nil
+			h = h[:last]
+			if last == 0 {
+				break
+			}
+		}
+		siftDown(h, 0)
+	}
+	// Clear retained pointers so cores aren't pinned past the run.
+	s.sched = s.sched[:cap(s.sched)]
+	for i := range s.sched {
+		s.sched[i] = nil
+	}
+	s.sched = s.sched[:0]
+}
+
+// coreLess orders the scheduler heap: earliest cycle first, ties broken by
+// lowest core ID — exactly the order the linear scan's strict < chose.
+//
+//chromevet:hot
+func coreLess(a, b *cpu.Core) bool {
+	ca, cb := a.Cycle(), b.Cycle()
+	if ca != cb {
+		return ca < cb
+	}
+	return a.ID() < b.ID()
+}
+
+//chromevet:hot
+func siftDown(h []*cpu.Core, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && coreLess(h[r], h[l]) {
+			m = r
+		}
+		if !coreLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// runPhaseLinear is the original O(cores)-per-step scheduler, kept as the
+// oracle for TestHeapSchedulerMatchesLinear.
+func (s *System) runPhaseLinear(target uint64) {
 	for {
 		var next *cpu.Core
 		for _, c := range s.cores {
@@ -394,6 +492,9 @@ type Result struct {
 	// Instructions and Cycles are the per-core window totals.
 	Instructions []uint64
 	Cycles       []uint64
+	// TotalInstructions is the lifetime retired-instruction count across
+	// all cores (warmup + measurement); it feeds simulated-MIPS reporting.
+	TotalInstructions uint64
 	// LLC is a snapshot of the LLC counters over the window.
 	LLC cache.Stats
 	// CAMAT is the lifetime per-core C-AMAT at the LLC.
@@ -414,6 +515,7 @@ func (s *System) collect() Result {
 		r.Instructions = append(r.Instructions, c.WindowInstructions())
 		r.Cycles = append(r.Cycles, c.WindowCycles())
 		r.CAMAT = append(r.CAMAT, s.mon.CAMAT(i))
+		r.TotalInstructions += c.Instructions()
 	}
 	return r
 }

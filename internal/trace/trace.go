@@ -65,6 +65,8 @@ func Rebase(gen Generator, offset mem.Addr) *Rebased {
 }
 
 // Next returns the inner record with the address rebased.
+//
+//chromevet:hot
 func (r *Rebased) Next() Record {
 	rec := r.inner.Next()
 	rec.Addr += r.offset
@@ -130,6 +132,8 @@ func NewStream(cfg StreamConfig) *Stream {
 }
 
 // Next returns the next sequential access.
+//
+//chromevet:hot
 func (s *Stream) Next() Record {
 	addr := s.base + mem.Addr(s.pos)
 	s.pos = (s.pos + s.stride) % s.size
@@ -212,6 +216,8 @@ func NewStride(cfg StrideConfig) *Stride {
 }
 
 // Next round-robins across the streams.
+//
+//chromevet:hot
 func (g *Stride) Next() Record {
 	st := &g.streams[g.idx]
 	g.idx = (g.idx + 1) % len(g.streams)
@@ -292,6 +298,8 @@ func NewWorkingSet(cfg WorkingSetConfig) *WorkingSet {
 }
 
 // Next returns a random access, biased toward the hot subset.
+//
+//chromevet:hot
 func (g *WorkingSet) Next() Record {
 	var blk uint64
 	if g.hot > 0 && g.r.Float64() < g.hotFrac {
@@ -335,9 +343,12 @@ type PointerChase struct {
 	stride uint64 // node size in bytes
 	r      *rand.Rand
 	// aux adds an independent payload access after every chase step with
-	// probability auxFrac, modeling per-node data processing.
-	auxFrac float64
-	pending *Record
+	// probability auxFrac, modeling per-node data processing. pending is
+	// held by value (guarded by hasPending) so queueing one never
+	// escapes to the heap.
+	auxFrac    float64
+	pending    Record
+	hasPending bool
 }
 
 // PointerChaseConfig parameterizes a PointerChase generator.
@@ -385,21 +396,22 @@ func NewPointerChase(cfg PointerChaseConfig) *PointerChase {
 }
 
 // Next returns the next chase step (or a payload access following one).
+//
+//chromevet:hot
 func (g *PointerChase) Next() Record {
-	if g.pending != nil {
-		rec := *g.pending
-		g.pending = nil
-		return rec
+	if g.hasPending {
+		g.hasPending = false
+		return g.pending
 	}
 	g.cur = uint64(g.next[g.cur])
 	addr := g.base + mem.Addr(g.cur*g.stride)
 	if g.auxFrac > 0 && g.r.Float64() < g.auxFrac {
-		aux := Record{
+		g.pending = Record{
 			PC:   g.pc + 16,
 			Addr: addr + mem.BlockSize,
 			Gap:  2,
 		}
-		g.pending = &aux
+		g.hasPending = true
 	}
 	return Record{PC: g.pc, Addr: addr, Dependent: true, Gap: g.gap}
 }
@@ -407,7 +419,7 @@ func (g *PointerChase) Next() Record {
 // Reset restarts the traversal from node zero.
 func (g *PointerChase) Reset() {
 	g.cur = 0
-	g.pending = nil
+	g.hasPending = false
 	g.r = rng(g.seed ^ 0x9ff001)
 }
 
@@ -449,6 +461,8 @@ func NewMixed(name string, seed uint64, subs []Generator, weights []float64) *Mi
 }
 
 // Next picks a sub-generator by weight and returns its next record.
+//
+//chromevet:hot
 func (g *Mixed) Next() Record {
 	x := g.r.Float64()
 	for i, c := range g.weights {
@@ -495,6 +509,8 @@ func NewPhased(name string, phaseLen uint64, subs ...Generator) *Phased {
 }
 
 // Next returns the next record of the current phase.
+//
+//chromevet:hot
 func (g *Phased) Next() Record {
 	rec := g.subs[g.idx].Next()
 	g.count++
