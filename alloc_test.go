@@ -90,6 +90,20 @@ func TestAllocBudget(t *testing.T) {
 		})
 	})
 
+	t.Run("ReplayNext", func(t *testing.T) {
+		p, err := workload.ByName("mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Budget 300k instructions ≈ 100k records at mcf's ~3 instr/record:
+		// comfortably more than the ~51k Next calls below, so the replayer
+		// never exhausts.
+		g := p.NewReplay(0, 300_000)
+		check(t, "replay Next (mcf)", func(int) {
+			g.Next()
+		})
+	})
+
 	t.Run("DRAMAccess", func(t *testing.T) {
 		d := sim.NewDRAM(sim.DefaultDRAMConfig())
 		check(t, "DRAM access", func(i int) {

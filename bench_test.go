@@ -248,6 +248,63 @@ func BenchmarkGraphTraceGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceNext measures per-record generation cost across the
+// generator families (one representative profile per family), the
+// per-family counterpart of the mcf-only BenchmarkTraceGeneration.
+func BenchmarkTraceNext(b *testing.B) {
+	// Family representatives: streaming (lbm), strided (libquantum),
+	// working-set reuse (gcc), pointer-chasing (mcf), phased mix (wrf),
+	// graph kernel (pr-tw).
+	for _, name := range []string{"lbm", "libquantum", "gcc", "mcf", "wrf", "pr-tw"} {
+		b.Run(name, func(b *testing.B) {
+			p, err := workload.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := p.New(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Next()
+			}
+		})
+	}
+}
+
+// BenchmarkRecordVsReplay compares serving one record live against serving
+// it from a frozen recording — the per-record payoff of the
+// record-once/replay-many engine (sub-benchmark "record" also includes the
+// amortized one-time recording cost).
+func BenchmarkRecordVsReplay(b *testing.B) {
+	p, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("live", func(b *testing.B) {
+		g := p.New(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Next()
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		for i := 0; i < b.N; i += 100_000 {
+			rec := trace.RecordStream(p.New(0), 100_000)
+			_ = rec.Len()
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		rec := workload.Recorded(p, 300_000)
+		g := rec.Replayer(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%rec.Len() == 0 {
+				g.Reset()
+			}
+			g.Next()
+		}
+	})
+}
+
 // BenchmarkEndToEnd4Core measures full-system simulation throughput
 // (instructions simulated per wall-clock second appear as the inverse of
 // ns/op x instructions).
@@ -263,6 +320,29 @@ func BenchmarkEndToEnd4Core(b *testing.B) {
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
 		sys := sim.New(cfg, workload.HomogeneousMix(p, 4), experiments.CHROMEScheme(experiments.ChromeConfig()).Factory)
+		instructions += sys.Run(10_000, 50_000).TotalInstructions
+	}
+	reportMIPS(b, instructions)
+}
+
+// BenchmarkEndToEnd4CoreReplay is BenchmarkEndToEnd4Core over a shared
+// frozen recording instead of live generators: the end-to-end view of the
+// record-once/replay-many speedup (generation cost paid once, outside the
+// measured loop after the first iteration).
+func BenchmarkEndToEnd4CoreReplay(b *testing.B) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf := experiments.PFDefault()
+	workload.Recorded(p, 60_000) // record outside the timed loop
+	b.ResetTimer()
+	var instructions uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ScaledConfig(4)
+		cfg.L1Prefetcher = pf.L1
+		cfg.L2Prefetcher = pf.L2
+		sys := sim.New(cfg, workload.HomogeneousReplayMix(p, 4, 60_000), experiments.CHROMEScheme(experiments.ChromeConfig()).Factory)
 		instructions += sys.Run(10_000, 50_000).TotalInstructions
 	}
 	reportMIPS(b, instructions)

@@ -85,6 +85,7 @@ func Analyzers() []*Analyzer {
 		analyzerGlobalMut(),
 		analyzerConcPrim(),
 		analyzerHotAlloc(),
+		analyzerFrozenShare(),
 	}
 }
 

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerFrozenShare certifies the freeze-then-share discipline behind the
+// record-once/replay-many trace engine (DESIGN.md §8). The parallel-safety
+// layer pins the core packages single-threaded, but a frozen
+// trace.Recording is deliberately shared read-only across the experiment
+// runner's workers. That exception is only sound when immutability is
+// structural, so a type annotated "//chromevet:frozenshare" must:
+//
+//   - carry a `frozen bool` latch field;
+//   - define a `mustMutable` pointer method (the guard that panics once the
+//     latch is set), which itself mutates nothing;
+//   - route every other receiver-mutating method through the guard: each
+//     method that writes receiver state must call recv.mustMutable(), with
+//     one exemption for the freeze itself — a method whose only write is
+//     the `frozen` field.
+//
+// Together the three rules make post-freeze mutation a loud panic instead
+// of a data race, which is the property the runner relies on when handing
+// one recording to every scheme and cell.
+func analyzerFrozenShare() *Analyzer {
+	return &Analyzer{
+		Name:  "frozenshare",
+		Doc:   "freeze-then-share discipline of //chromevet:frozenshare types",
+		Scope: ScopeInternal,
+		Run:   runFrozenShare,
+	}
+}
+
+func runFrozenShare(pass *Pass) []Finding {
+	annotated := frozenShareTypes(pass)
+	if len(annotated) == 0 {
+		return nil
+	}
+	var out []Finding
+	report := func(at token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Analyzer: "frozenshare",
+			Pos:      pass.pos(at),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Structural requirements on the annotated type itself.
+	guarded := map[types.Object]bool{} // types with a mustMutable method
+	for obj, ts := range annotated {
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			report(ts.Name.Pos(), "frozenshare type %s is not a struct", obj.Name())
+			continue
+		}
+		if !hasFrozenLatch(st) {
+			report(ts.Name.Pos(), "frozenshare type %s has no `frozen bool` latch field", obj.Name())
+		}
+	}
+
+	// Collect the methods of annotated types.
+	type method struct {
+		fd   *ast.FuncDecl
+		obj  types.Object // the annotated type
+		recv *ast.Ident   // receiver identifier ("" receivers yield nil)
+	}
+	var methods []method
+	for _, f := range pass.P.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			obj := receiverTypeObj(pass, fd)
+			if obj == nil {
+				continue
+			}
+			if _, ok := annotated[obj]; !ok {
+				continue
+			}
+			var recv *ast.Ident
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				recv = names[0]
+			}
+			methods = append(methods, method{fd: fd, obj: obj, recv: recv})
+			if fd.Name.Name == "mustMutable" {
+				guarded[obj] = true
+			}
+		}
+	}
+	for obj, ts := range annotated {
+		if !guarded[obj] {
+			report(ts.Name.Pos(), "frozenshare type %s has no mustMutable guard method", obj.Name())
+		}
+	}
+
+	// Per-method discipline.
+	for _, m := range methods {
+		if m.fd.Body == nil {
+			continue
+		}
+		mutated := receiverWrites(pass, m.fd, m.recv)
+		if m.fd.Name.Name == "mustMutable" {
+			if len(mutated) > 0 {
+				report(m.fd.Name.Pos(), "mustMutable of frozenshare type %s must not mutate state (writes %s)",
+					m.obj.Name(), mutated[0])
+			}
+			continue
+		}
+		if len(mutated) == 0 {
+			continue
+		}
+		if onlyFrozen(mutated) {
+			continue // the freeze itself: flipping the latch is the one unguarded write
+		}
+		if callsMustMutable(pass, m.fd, m.recv) {
+			continue
+		}
+		report(m.fd.Name.Pos(), "method %s mutates frozenshare type %s (field %s) without calling mustMutable",
+			m.fd.Name.Name, m.obj.Name(), mutated[0])
+	}
+	return out
+}
+
+// frozenShareTypes finds the package's //chromevet:frozenshare-annotated
+// type declarations, keyed by their types.Object.
+func frozenShareTypes(pass *Pass) map[types.Object]*ast.TypeSpec {
+	out := map[types.Object]*ast.TypeSpec{}
+	for _, f := range pass.P.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, "//chromevet:frozenshare") && !hasDirective(ts.Doc, "//chromevet:frozenshare") {
+					continue
+				}
+				if obj := pass.P.Info.ObjectOf(ts.Name); obj != nil {
+					out[obj] = ts
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether the comment group contains the exact
+// directive line.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFrozenLatch reports whether the struct declares a `frozen bool` field.
+func hasFrozenLatch(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		id, ok := field.Type.(*ast.Ident)
+		if !ok || id.Name != "bool" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "frozen" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// receiverTypeObj resolves a method's receiver base type to its
+// types.Object (unwrapping the pointer for pointer receivers).
+func receiverTypeObj(pass *Pass, fd *ast.FuncDecl) types.Object {
+	tv, ok := pass.P.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// receiverWrites returns the receiver fields a method body writes
+// (assignments and ++/-- through any selector/index/star chain rooted at
+// the receiver), in source order.
+func receiverWrites(pass *Pass, fd *ast.FuncDecl, recv *ast.Ident) []string {
+	if recv == nil {
+		return nil
+	}
+	obj := pass.P.Info.ObjectOf(recv)
+	if obj == nil {
+		return nil
+	}
+	var out []string
+	add := func(e ast.Expr) {
+		if f := receiverField(pass, e, obj); f != "" {
+			out = append(out, f)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(x.X)
+		}
+		return true
+	})
+	return out
+}
+
+// receiverField unwraps an lvalue down to the receiver identifier and
+// returns the first field name on the path, or "" when the expression is
+// not rooted at the receiver.
+func receiverField(pass *Pass, e ast.Expr, recv types.Object) string {
+	field := ""
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			field = x.Sel.Name
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if pass.P.Info.ObjectOf(x) == recv {
+				return field
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// onlyFrozen reports whether every mutated field is the latch itself.
+func onlyFrozen(fields []string) bool {
+	for _, f := range fields {
+		if f != "frozen" {
+			return false
+		}
+	}
+	return true
+}
+
+// callsMustMutable reports whether the body calls recv.mustMutable().
+func callsMustMutable(pass *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
+	if recv == nil {
+		return false
+	}
+	obj := pass.P.Info.ObjectOf(recv)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "mustMutable" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.P.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -81,6 +81,7 @@ func fixtureLoader(t *testing.T) *Loader {
 	l.Override("chrome/internal/policy/parfixture", filepath.Join(base, "aliasshare"))
 	l.Override("chrome/internal/cache/parfixture", filepath.Join(base, "concprim"))
 	l.Override("chrome/internal/vetfixture/hotalloc", filepath.Join(base, "hotalloc"))
+	l.Override("chrome/internal/vetfixture/frozenshare", filepath.Join(base, "frozenshare"))
 	return l
 }
 
@@ -106,6 +107,7 @@ func TestFixtures(t *testing.T) {
 		{"aliasshare", "chrome/internal/policy/parfixture", []string{"aliasshare"}},
 		{"concprim", "chrome/internal/cache/parfixture", []string{"concprim"}},
 		{"hotalloc", "chrome/internal/vetfixture/hotalloc", []string{"hotalloc"}},
+		{"frozenshare", "chrome/internal/vetfixture/frozenshare", []string{"frozenshare"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

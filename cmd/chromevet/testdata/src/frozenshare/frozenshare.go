@@ -1,0 +1,111 @@
+// Package fixture exercises the frozenshare analyzer: types annotated
+// //chromevet:frozenshare must carry a `frozen bool` latch, define a
+// mustMutable guard, and route every receiver-mutating method through it
+// (DESIGN.md §8). Loaded by the driver test under
+// chrome/internal/vetfixture/frozenshare so the internal scope applies.
+package fixture
+
+// Good follows the full discipline: latch, guard, guarded mutators, and an
+// unguarded method whose only write is the latch itself.
+//
+//chromevet:frozenshare
+type Good struct {
+	vals   []uint64
+	count  int
+	frozen bool
+}
+
+func (g *Good) mustMutable() {
+	if g.frozen {
+		panic("frozen")
+	}
+}
+
+// Freeze only flips the latch: the one sanctioned unguarded write.
+func (g *Good) Freeze() { g.frozen = true }
+
+// Add mutates through the guard: fine.
+func (g *Good) Add(v uint64) {
+	g.mustMutable()
+	g.vals = append(g.vals, v)
+	g.count++
+}
+
+// Len reads without writing: fine.
+func (g *Good) Len() int { return len(g.vals) }
+
+// BadMutator has latch and guard but a mutator that skips the guard.
+//
+//chromevet:frozenshare
+type BadMutator struct {
+	vals   map[string]int
+	frozen bool
+}
+
+func (b *BadMutator) mustMutable() {
+	if b.frozen {
+		panic("frozen")
+	}
+}
+
+func (b *BadMutator) Freeze() { b.frozen = true }
+
+// Put writes receiver state without consulting the guard.
+func (b *BadMutator) Put(k string, v int) { // want frozenshare "mutates frozenshare type BadMutator"
+	b.vals[k] = v
+}
+
+// NoLatch is annotated but has nothing to freeze with.
+//
+//chromevet:frozenshare
+type NoLatch struct { // want frozenshare "no `frozen bool` latch field"
+	vals []uint64
+}
+
+func (n *NoLatch) mustMutable() {}
+
+// NoGuard has the latch but no guard method, so its mutator cannot comply.
+//
+//chromevet:frozenshare
+type NoGuard struct { // want frozenshare "no mustMutable guard method"
+	count  int
+	frozen bool
+}
+
+func (n *NoGuard) Freeze() { n.frozen = true }
+
+// Bump mutates with no guard to call.
+func (n *NoGuard) Bump() { // want frozenshare "mutates frozenshare type NoGuard"
+	n.count++
+}
+
+// BadGuard's guard itself mutates state, defeating its purpose.
+//
+//chromevet:frozenshare
+type BadGuard struct {
+	checks int
+	frozen bool
+}
+
+func (b *BadGuard) mustMutable() { // want frozenshare "must not mutate state"
+	b.checks++
+	if b.frozen {
+		panic("frozen")
+	}
+}
+
+func (b *BadGuard) Freeze() { b.frozen = true }
+
+// Plain is unannotated: none of the analyzer's business.
+type Plain struct {
+	vals []uint64
+}
+
+func (p *Plain) Add(v uint64) { p.vals = append(p.vals, v) }
+
+var _ = []any{
+	(*Good).Freeze, (*Good).Add, (*Good).Len, (*Good).mustMutable,
+	(*BadMutator).Put, (*BadMutator).Freeze, (*BadMutator).mustMutable,
+	(*NoLatch).mustMutable, (*NoGuard).Freeze, (*NoGuard).Bump,
+	(*BadGuard).Freeze, (*BadGuard).mustMutable, (*Plain).Add,
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"chrome/internal/experiments"
+	"chrome/internal/workload"
 )
 
 func main() {
@@ -39,9 +40,11 @@ func main() {
 		qualify = flag.Bool("qualify", false, "print per-workload baseline MPKI (selection criterion)")
 		outdir  = flag.String("outdir", "", "also write each report as CSV into this directory")
 		mdOut   = flag.String("md", "", "also write all reports as a markdown results document")
-		jobs    = flag.Int("j", runtime.NumCPU(), "worker pool size for independent simulation cells (1 = sequential)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		jobs     = flag.Int("j", runtime.NumCPU(), "worker pool size for independent simulation cells (1 = sequential)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		replay   = flag.Bool("replay", true, "record each workload stream once and replay it across schemes and cells")
+		traceDir = flag.String("tracedir", "", "persist recordings to this directory and reuse them across runs (implies -replay)")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -97,6 +100,14 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Parallelism = *jobs
+	sc.NoReplay = !*replay && *traceDir == ""
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "tracedir:", err)
+			os.Exit(1)
+		}
+		workload.SetTraceDir(*traceDir)
+	}
 
 	if *qualify {
 		mpki := experiments.QualifyWorkloads(sc)
@@ -141,6 +152,7 @@ func main() {
 	for _, r := range runners {
 		t0 := time.Now()
 		i0 := experiments.SimulatedInstructions()
+		g0 := workload.GenerationTime()
 		for _, rep := range r.Run(sc) {
 			fmt.Println(rep)
 			all = append(all, rep)
@@ -150,9 +162,10 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("(%s completed in %s, %s)\n\n", r.ID,
+		fmt.Printf("(%s completed in %s, %s%s)\n\n", r.ID,
 			time.Since(t0).Round(time.Second),
-			mips(experiments.SimulatedInstructions()-i0, time.Since(t0)))
+			mips(experiments.SimulatedInstructions()-i0, time.Since(t0)),
+			genSplit(workload.GenerationTime()-g0, time.Since(t0), sc.NoReplay))
 	}
 	fmt.Printf("suite completed in %s at scale=%s (%s)\n",
 		time.Since(start).Round(time.Second), *scale,
@@ -164,6 +177,18 @@ func main() {
 		}
 		fmt.Println("wrote", *mdOut)
 	}
+}
+
+// genSplit formats the generation-vs-simulation wall-clock split of a
+// runner. With replay off the split is unobservable (generation happens
+// inside the simulation loop, interleaved with cache accesses), so the
+// measured speedup claim in EXPERIMENTS.md compares whole-runner times.
+func genSplit(gen, total time.Duration, noReplay bool) string {
+	if noReplay {
+		return ", generation interleaved (replay off)"
+	}
+	return fmt.Sprintf(", trace gen %s / sim %s",
+		gen.Round(time.Millisecond), (total - gen).Round(time.Millisecond))
 }
 
 // mips formats simulated throughput: retired instructions per wall-second,

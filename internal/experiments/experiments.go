@@ -37,6 +37,34 @@ type Scale struct {
 	// merged deterministically, so the output is byte-identical at any
 	// setting.
 	Parallelism int
+	// NoReplay disables the record-once/replay-many trace engine, falling
+	// back to regenerating every stream live per cell. The zero value
+	// replays: generators are timing-independent, so replayed runs are
+	// byte-identical to live ones (TestReplayOffMatchesOn) and every scheme
+	// in a sweep shares one frozen recording per workload.
+	NoReplay bool
+}
+
+// budget is the per-core instruction window a recording must cover for a
+// run at this scale.
+func (sc Scale) budget() uint64 { return sc.Warmup + sc.Measure }
+
+// homoGens builds the per-core generators of a homogeneous mix, shared
+// frozen recordings unless NoReplay.
+func (sc Scale) homoGens(p workload.Profile, cores int) []trace.Generator {
+	if sc.NoReplay {
+		return workload.HomogeneousMix(p, cores)
+	}
+	return workload.HomogeneousReplayMix(p, cores, sc.budget())
+}
+
+// mixGens builds a mix's per-core generators, shared frozen recordings
+// unless NoReplay.
+func (sc Scale) mixGens(m workload.Mix) []trace.Generator {
+	if sc.NoReplay {
+		return m.Generators()
+	}
+	return m.ReplayGenerators(sc.budget())
 }
 
 // QuickScale is sized for tests and benchmarks (seconds per figure). At
@@ -285,15 +313,6 @@ func runMix(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig,
 	return res
 }
 
-// freshGens re-instantiates a mix's generators (each run needs fresh,
-// unshared generator state).
-func freshGens(m workload.Mix) []trace.Generator { return m.Generators() }
-
-// homoGens builds homogeneous generators for a profile.
-func homoGens(p workload.Profile, cores int) []trace.Generator {
-	return workload.HomogeneousMix(p, cores)
-}
-
 // representativeOrder ranks SPEC profiles by behavioural diversity so
 // small-subset sweeps cover reuse-heavy, thrashing, pointer-chasing, and
 // streaming classes rather than the first registrations.
@@ -373,7 +392,7 @@ func speedups(gens func() []trace.Generator, cores int, schemes []Scheme, pf Pre
 // sweeps (Fig. 10, Fig. 11) saturate the workers without nesting pools.
 func mixSweep(mixes []workload.Mix, cores int, schemes []Scheme, pf PrefetchConfig, sc Scale) []map[string]float64 {
 	grid := parGrid(sc, len(mixes), len(schemes), func(m, s int) sim.Result {
-		return runMix(mixes[m].Generators(), cores, schemes[s], pf, sc)
+		return runMix(sc.mixGens(mixes[m]), cores, schemes[s], pf, sc)
 	})
 	out := make([]map[string]float64, len(mixes))
 	for m, row := range grid {

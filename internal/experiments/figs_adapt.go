@@ -5,7 +5,6 @@ import (
 
 	"chrome/internal/chrome"
 	"chrome/internal/metrics"
-	"chrome/internal/workload"
 )
 
 // Fig14 reproduces Figure 14: speedup with two alternative prefetching
@@ -87,7 +86,7 @@ func Fig16(sc Scale) []Report {
 	eval := func(cfg chrome.Config) float64 {
 		s := CHROMEScheme(cfg)
 		ws := parMap(sc, len(profiles), func(i int) float64 {
-			r := runMix(workload.HomogeneousMix(profiles[i], 4), 4, s, pf, sc)
+			r := runMix(sc.homoGens(profiles[i], 4), 4, s, pf, sc)
 			return metrics.WeightedSpeedup(r.IPC, baseResults[profiles[i].Name]["LRU"].IPC)
 		})
 		return metrics.GeoMean(ws)
@@ -147,7 +146,7 @@ func TableVII(sc Scale) []Report {
 		cfg.EQDepth = size
 		type cell struct{ ws, upksa float64 }
 		cells := parMap(sc, len(profiles), func(i int) cell {
-			r, agentUPKSA := runMixWithAgent(workload.HomogeneousMix(profiles[i], 4), 4, cfg, pf, sc)
+			r, agentUPKSA := runMixWithAgent(sc.homoGens(profiles[i], 4), 4, cfg, pf, sc)
 			return cell{
 				ws:    metrics.WeightedSpeedup(r.IPC, baseResults[profiles[i].Name]["LRU"].IPC),
 				upksa: agentUPKSA,

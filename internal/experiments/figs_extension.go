@@ -41,7 +41,7 @@ func FeatureStudy(sc Scale) []Report {
 		cfg.StateFeatures = cand.kinds
 		s := CHROMEScheme(cfg)
 		ws := parMap(sc, len(profiles), func(i int) float64 {
-			r := runMix(workload.HomogeneousMix(profiles[i], 4), 4, s, pf, sc)
+			r := runMix(sc.homoGens(profiles[i], 4), 4, s, pf, sc)
 			return metrics.WeightedSpeedup(r.IPC, baseResults[profiles[i].Name]["LRU"].IPC)
 		})
 		gm := metrics.GeoMean(ws)
@@ -91,8 +91,8 @@ func LearningCurve(sc Scale) []Report {
 		runSc.Warmup = budgets[bi] / 5
 		runSc.Measure = budgets[bi]
 		p := valid[pi]
-		base := runMix(workload.HomogeneousMix(p, 4), 4, LRUScheme(), pf, runSc)
-		res := runMix(workload.HomogeneousMix(p, 4), 4, CHROMEScheme(ChromeConfig()), pf, runSc)
+		base := runMix(runSc.homoGens(p, 4), 4, LRUScheme(), pf, runSc)
+		res := runMix(runSc.homoGens(p, 4), 4, CHROMEScheme(ChromeConfig()), pf, runSc)
 		return metrics.WeightedSpeedup(res.IPC, base.IPC)
 	})
 	tab := metrics.NewTable(append([]string{"workload"}, budgetLabels(budgets)...)...)

@@ -116,7 +116,7 @@ func Fig9(sc Scale) []Report {
 		cfg := sim.ScaledConfig(4)
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
-		sys := sim.New(cfg, workload.HomogeneousMix(profiles[pi], 4), schemes[si].Factory)
+		sys := sim.New(cfg, sc.homoGens(profiles[pi], 4), schemes[si].Factory)
 		tracker := cache.NewReuseTracker(0)
 		sys.SetBypassTracker(tracker)
 		res := sys.Run(sc.Warmup, sc.Measure)

@@ -29,7 +29,7 @@ func capProfiles(ps []workload.Profile, n int) []workload.Profile {
 // sweep is deterministic at any parallelism.
 func homoSweep(profiles []workload.Profile, cores int, schemes []Scheme, pf PrefetchConfig, sc Scale) map[string]map[string]sim.Result {
 	grid := parGrid(sc, len(profiles), len(schemes), func(pi, si int) sim.Result {
-		return runMix(workload.HomogeneousMix(profiles[pi], cores), cores, schemes[si], pf, sc)
+		return runMix(sc.homoGens(profiles[pi], cores), cores, schemes[si], pf, sc)
 	})
 	out := make(map[string]map[string]sim.Result, len(profiles))
 	for pi, p := range profiles {
@@ -114,7 +114,7 @@ func Fig2(sc Scale) []Report {
 		cfg := sim.ScaledConfig(4)
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
-		sys := sim.New(cfg, workload.HomogeneousMix(profiles[i], 4), GliderScheme().Factory)
+		sys := sim.New(cfg, sc.homoGens(profiles[i], 4), GliderScheme().Factory)
 		tracker := cache.NewReuseTracker(0)
 		sys.SetEvictionTracker(tracker)
 		res := sys.Run(sc.Warmup, sc.Measure)
@@ -176,7 +176,7 @@ func Fig3(sc Scale) []Report {
 	var reports []Report
 	for i, pf := range []PrefetchConfig{PFDefault(), PFStrideStreamer()} {
 		grid := parGrid(sc, len(profiles), len(schemes), func(pi, si int) sim.Result {
-			return runMix(workload.HomogeneousMix(profiles[pi], 4), 4, schemes[si], pf, sc)
+			return runMix(sc.homoGens(profiles[pi], 4), 4, schemes[si], pf, sc)
 		})
 		tab := metrics.NewTable("workload", "Hawkeye", "Glider", "Mockingjay")
 		var mockWins, rows int

@@ -66,6 +66,13 @@ func renderAt(t *testing.T, parallelism int) string {
 	t.Helper()
 	sc := tinyScale()
 	sc.Parallelism = parallelism
+	return renderGolden(t, sc)
+}
+
+// renderGolden runs the golden runner set at the given scale and renders
+// every report to one string.
+func renderGolden(t *testing.T, sc Scale) string {
+	t.Helper()
 	var out string
 	for _, id := range goldenRunners {
 		r, err := RunnerByID(id)

@@ -79,7 +79,7 @@ func RunnerByID(id string) (Runner, error) {
 func QualifyWorkloads(sc Scale) map[string]float64 {
 	ps := workload.All()
 	mpki := parMap(sc, len(ps), func(i int) float64 {
-		res := runMix(workload.HomogeneousMix(ps[i], 1), 1, LRUScheme(), PFNone(), sc)
+		res := runMix(sc.homoGens(ps[i], 1), 1, LRUScheme(), PFNone(), sc)
 		return res.MPKI()
 	})
 	out := make(map[string]float64, len(ps))

@@ -201,6 +201,8 @@ func (g *Graph) buildOrder() {
 }
 
 // Next emits the next access of the kernel's CSR traversal.
+//
+//chromevet:hot
 func (g *Graph) Next() Record {
 	switch g.phase {
 	case 0: // read offsets[u] (sequential-ish, high spatial locality)

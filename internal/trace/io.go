@@ -115,6 +115,8 @@ func NewReplay(name string, recs []Record) *Replay {
 }
 
 // Next returns the next recorded record, wrapping at the end.
+//
+//chromevet:hot
 func (r *Replay) Next() Record {
 	rec := r.recs[r.i]
 	r.i = (r.i + 1) % len(r.recs)

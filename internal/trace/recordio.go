@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// On-disk recording format (DESIGN.md §8): a versioned header followed by
+// the four columns, so FullScale suite re-runs can skip generation
+// entirely (cmd/traces records, inspects and verifies these files;
+// cmd/experiments -tracedir persists and reuses them transparently).
+//
+//	magic    "CHRC"                     4 bytes
+//	version  u8                         1 byte
+//	reserved                            3 bytes
+//	nameLen  u16  LE                    2 bytes
+//	name     nameLen bytes
+//	count    u64  LE  records
+//	instrs   u64  LE  Σ Gap+1
+//	checksum u64  LE  FNV-1a over the columns (Recording.Checksum)
+//	pcs      count x u64 LE
+//	addrs    count x u64 LE
+//	kinds    count x u8
+//	gaps     count x u8
+//
+// Everything after the header is raw column data, so a load is four bulk
+// reads. The checksum (and a recomputed instrs) is validated on load: a
+// truncated, corrupted, or stale file yields ErrBadTrace, never a silently
+// different experiment input.
+
+var recordingMagic = [4]byte{'C', 'H', 'R', 'C'}
+
+// recordingVersion is the current recording format version.
+const recordingVersion = 1
+
+// WriteRecording serializes a frozen recording to w.
+func WriteRecording(w io.Writer, rec *Recording) error {
+	if !rec.frozen {
+		panic("trace: WriteRecording of unfrozen recording " + rec.name)
+	}
+	if len(rec.name) > 0xffff {
+		return fmt.Errorf("%w: recording name too long (%d bytes)", ErrBadTrace, len(rec.name))
+	}
+	bw := bufio.NewWriter(w)
+	header := make([]byte, 10)
+	copy(header, recordingMagic[:])
+	header[4] = recordingVersion
+	binary.LittleEndian.PutUint16(header[8:], uint16(len(rec.name)))
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(rec.name); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	for _, v := range []uint64{uint64(len(rec.pcs)), rec.instrs, rec.Checksum()} {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+	}
+	for _, col := range [][]uint64{rec.pcs, rec.addrs} {
+		for _, v := range col {
+			binary.LittleEndian.PutUint64(u64[:], v)
+			if _, err := bw.Write(u64[:]); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.Write(rec.kinds); err != nil {
+		return err
+	}
+	if _, err := bw.Write(rec.gaps); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadRecording deserializes and validates a recording; the result is
+// frozen. Malformed input (bad magic/version, truncation, checksum or
+// instruction-count mismatch) yields an error wrapping ErrBadTrace.
+func ReadRecording(r io.Reader) (*Recording, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, 10)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("%w: short recording header: %v", ErrBadTrace, err)
+	}
+	if [4]byte(header[:4]) != recordingMagic {
+		return nil, fmt.Errorf("%w: bad recording magic %q", ErrBadTrace, header[:4])
+	}
+	if header[4] != recordingVersion {
+		return nil, fmt.Errorf("%w: unsupported recording version %d", ErrBadTrace, header[4])
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(header[8:]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: truncated recording name: %v", ErrBadTrace, err)
+	}
+	var u64 [8]byte
+	readU64 := func(what string) (uint64, error) {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated %s: %v", ErrBadTrace, what, err)
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	count, err := readU64("record count")
+	if err != nil {
+		return nil, err
+	}
+	instrs, err := readU64("instruction count")
+	if err != nil {
+		return nil, err
+	}
+	sum, err := readU64("checksum")
+	if err != nil {
+		return nil, err
+	}
+	// A record retires at least one instruction, so count > instrs means a
+	// corrupted header; this also bounds the allocation below.
+	if count > instrs {
+		return nil, fmt.Errorf("%w: %d records cannot cover %d instructions", ErrBadTrace, count, instrs)
+	}
+	rec := &Recording{
+		name:  string(name),
+		pcs:   make([]uint64, count),
+		addrs: make([]uint64, count),
+		kinds: make([]uint8, count),
+		gaps:  make([]uint8, count),
+	}
+	for _, col := range [][]uint64{rec.pcs, rec.addrs} {
+		for i := range col {
+			if _, err := io.ReadFull(br, u64[:]); err != nil {
+				return nil, fmt.Errorf("%w: truncated column: %v", ErrBadTrace, err)
+			}
+			col[i] = binary.LittleEndian.Uint64(u64[:])
+		}
+	}
+	if _, err := io.ReadFull(br, rec.kinds); err != nil {
+		return nil, fmt.Errorf("%w: truncated kinds column: %v", ErrBadTrace, err)
+	}
+	if _, err := io.ReadFull(br, rec.gaps); err != nil {
+		return nil, fmt.Errorf("%w: truncated gaps column: %v", ErrBadTrace, err)
+	}
+	for _, g := range rec.gaps {
+		rec.instrs += uint64(g) + 1
+	}
+	if rec.instrs != instrs {
+		return nil, fmt.Errorf("%w: recording covers %d instructions, header says %d", ErrBadTrace, rec.instrs, instrs)
+	}
+	if got := rec.Checksum(); got != sum {
+		return nil, fmt.Errorf("%w: recording checksum %016x, want %016x", ErrBadTrace, got, sum)
+	}
+	rec.Freeze()
+	return rec, nil
+}
+
+// Ensure the replayer stays a Generator (the property that lets sim/cpu
+// consume recordings unchanged).
+var _ Generator = (*Replayer)(nil)

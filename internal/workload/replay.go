@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chrome/internal/mem"
+	"chrome/internal/trace"
+)
+
+// Recording cache: each (profile, seed, budget) is recorded exactly once per
+// process and the frozen trace.Recording is shared — across the K schemes of
+// a cell row, across parallel cells (read-only sharing certified by
+// chromevet's frozenshare analyzer), and, when a trace directory is set,
+// across process runs via the CHRC on-disk format.
+//
+// The cache follows the registry's freeze discipline: the outer
+// per-profile map is built exactly once, after the registry latch flips, so
+// parallel workers index an immutable map and only take the narrow
+// per-profile lock while recording. Asking to record a profile the frozen
+// registry does not know is a bug and panics, mirroring late register.
+
+// recKey identifies one recorded stream of a profile.
+type recKey struct {
+	seed   uint64
+	budget uint64
+}
+
+// profileRecordings holds the recordings of a single profile. The mutex
+// only guards the inner map; the *trace.Recording values are frozen and
+// shared without locks.
+type profileRecordings struct {
+	mu   sync.Mutex
+	recs map[recKey]*trace.Recording
+}
+
+var (
+	recordings map[string]*profileRecordings
+	recBuild   sync.Once
+	// traceDir, when non-empty, is the directory recordings are persisted
+	// to and loaded from across process runs.
+	traceDir atomic.Pointer[string]
+	// genNanos accumulates wall time spent generating (or loading) streams,
+	// so cmd/experiments can report the generation-vs-simulation split.
+	genNanos atomic.Int64
+)
+
+// ensureRecordings builds the outer cache map, one entry per registered
+// profile, freezing the registry first so the map can never go stale.
+func ensureRecordings() {
+	//chromevet:allow globalmut -- sync.Once latch: at most one write, synchronized for all readers
+	recBuild.Do(func() {
+		freeze()
+		m := make(map[string]*profileRecordings, len(profiles))
+		for _, p := range profiles {
+			m[p.Name] = &profileRecordings{recs: map[recKey]*trace.Recording{}}
+		}
+		//chromevet:allow globalmut -- write-once under sync.Once, frozen alongside the registry latch
+		recordings = m
+	})
+}
+
+// SetTraceDir sets the directory recordings are persisted to and reused
+// from ("" disables persistence). Call it before experiments start; it does
+// not invalidate recordings already cached in-process.
+func SetTraceDir(dir string) {
+	//chromevet:allow globalmut -- CLI configuration applied once at startup, atomic pointer swap
+	traceDir.Store(&dir)
+}
+
+// GenerationTime returns the cumulative wall time this process has spent
+// producing recordings (generating live streams, or loading them from the
+// trace directory).
+func GenerationTime() time.Duration {
+	return time.Duration(genNanos.Load())
+}
+
+// RecordingFileName returns the file name a profile's recording at the
+// given budget persists under. The name embeds the stream seed, so a
+// profile rename or seed-scheme change can never silently reuse a stale
+// file (the checksum inside the file guards the contents).
+func RecordingFileName(p Profile, budget uint64) string {
+	return fmt.Sprintf("%s-%016x-%d.chrec", p.Name, p.seed(), budget)
+}
+
+// Recorded returns the frozen recording of p's stream covering at least
+// budget instructions, recording (or loading) it on first use. The result
+// is immutable and safe to share across goroutines. Unknown profiles after
+// the registry froze panic, like a late register.
+func Recorded(p Profile, budget uint64) *trace.Recording {
+	ensureRecordings()
+	pr, ok := recordings[p.Name]
+	if !ok {
+		panic("workload: Recorded(" + p.Name + ") of a profile unknown to the frozen registry")
+	}
+	key := recKey{seed: p.seed(), budget: budget}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if rec, ok := pr.recs[key]; ok {
+		return rec
+	}
+	//chromevet:allow walltime -- measuring our own generation cost for reporting, never simulated behavior
+	start := time.Now()
+	rec := loadOrRecord(p, budget)
+	//chromevet:allow globalmut,walltime -- atomic wall-clock accounting for the CLI's gen-vs-sim split
+	genNanos.Add(int64(time.Since(start)))
+	pr.recs[key] = rec
+	return rec
+}
+
+// loadOrRecord fetches the recording from the trace directory when one is
+// configured and holds a valid file, falling back to recording the live
+// generator (and then persisting the result, best-effort).
+func loadOrRecord(p Profile, budget uint64) *trace.Recording {
+	dir := ""
+	if d := traceDir.Load(); d != nil {
+		dir = *d
+	}
+	path := ""
+	if dir != "" {
+		path = filepath.Join(dir, RecordingFileName(p, budget))
+		if f, err := os.Open(path); err == nil {
+			rec, rerr := trace.ReadRecording(f)
+			f.Close()
+			if rerr == nil {
+				return rec
+			}
+			fmt.Fprintf(os.Stderr, "workload: ignoring %s: %v\n", path, rerr)
+		}
+	}
+	rec := trace.RecordStream(p.build(profileRegion(p.Name), p.seed()), budget)
+	if path != "" {
+		if err := writeRecordingFile(path, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: could not persist %s: %v\n", path, err)
+		}
+	}
+	return rec
+}
+
+// writeRecordingFile persists a recording atomically enough for reuse: a
+// partial write is left as a temp file, never a truncated .chrec (and the
+// checksum inside the format catches anything that slips through).
+func writeRecordingFile(path string, rec *trace.Recording) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteRecording(f, rec); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// NewReplay returns a zero-allocation replay of the profile's stream for
+// the given core, equivalent record-for-record to p.New(core) over the
+// first budget instructions (trace.Rebase and the replayer apply the same
+// per-core offset).
+func (p Profile) NewReplay(core int, budget uint64) trace.Generator {
+	return Recorded(p, budget).Replayer(coreSpacing * mem.Addr(core))
+}
+
+// HomogeneousReplayMix is HomogeneousMix over shared recordings: n
+// replayers of one frozen stream, one per core.
+func HomogeneousReplayMix(p Profile, n int, budget uint64) []trace.Generator {
+	rec := Recorded(p, budget)
+	gens := make([]trace.Generator, n)
+	for i := range gens {
+		gens[i] = rec.Replayer(coreSpacing * mem.Addr(i))
+	}
+	return gens
+}
+
+// ReplayGenerators is Mix.Generators over shared recordings.
+func (m Mix) ReplayGenerators(budget uint64) []trace.Generator {
+	gens := make([]trace.Generator, len(m.Profiles))
+	for i, p := range m.Profiles {
+		gens[i] = p.NewReplay(i, budget)
+	}
+	return gens
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chrome/internal/trace"
+)
+
+// quickBudget mirrors experiments.QuickScale's warmup+measure window
+// (hardcoded here: importing experiments would cycle).
+const quickBudget = 30_000 + 120_000
+
+// TestRecordedMatchesLiveAllProfiles is the equivalence satellite: for every
+// registered profile, at the profile's own seed and a perturbed one, the
+// recorded stream reproduces a fresh live generator record-for-record over
+// the full QuickScale budget. A generator that secretly depended on call
+// context (wall time, global rand, shared state) would diverge here.
+func TestRecordedMatchesLiveAllProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-budget equivalence sweep")
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			region := profileRegion(p.Name)
+			for _, seed := range []uint64{p.seed(), p.seed() + 1} {
+				rec := trace.RecordStream(p.build(region, seed), quickBudget)
+				if rec.Instructions() < quickBudget {
+					t.Fatalf("seed %#x: recording covers %d instructions, want >= %d", seed, rec.Instructions(), quickBudget)
+				}
+				live := p.build(region, seed)
+				rep := rec.Replayer(0)
+				for i := 0; i < rec.Len(); i++ {
+					if got, want := rep.Next(), live.Next(); got != want {
+						t.Fatalf("seed %#x record %d: replay %+v, live %+v", seed, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNewReplayMatchesNew(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 20_000
+	for _, core := range []int{0, 3} {
+		live := p.New(core)
+		rep := p.NewReplay(core, budget)
+		rec := Recorded(p, budget)
+		for i := 0; i < rec.Len(); i++ {
+			if got, want := rep.Next(), live.Next(); got != want {
+				t.Fatalf("core %d record %d: replay %+v, live %+v", core, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRecordedCacheSharesOneRecording(t *testing.T) {
+	p, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Recorded(p, 10_000)
+	b := Recorded(p, 10_000)
+	if a != b {
+		t.Fatal("same (profile, budget) must return the identical recording")
+	}
+	if c := Recorded(p, 20_000); c == a {
+		t.Fatal("distinct budgets must not share a recording")
+	}
+	gens := HomogeneousReplayMix(p, 4, 10_000)
+	if len(gens) != 4 {
+		t.Fatalf("got %d generators, want 4", len(gens))
+	}
+}
+
+func TestReplayMixUsesPerCoreOffsets(t *testing.T) {
+	p, err := ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := HomogeneousReplayMix(p, 2, 5_000)
+	r0, r1 := gens[0].Next(), gens[1].Next()
+	if r1.Addr != r0.Addr+coreSpacing {
+		t.Fatalf("core 1 address %#x, want core 0 %#x + spacing", r1.Addr, r0.Addr)
+	}
+}
+
+func TestMixReplayGeneratorsMatchLive(t *testing.T) {
+	mixes := HeterogeneousMixes(4, 1, 42)
+	m := mixes[0]
+	const budget = 10_000
+	live := m.Generators()
+	rep := m.ReplayGenerators(budget)
+	for core := range live {
+		rec := Recorded(m.Profiles[core], budget)
+		for i := 0; i < rec.Len(); i++ {
+			if got, want := rep[core].Next(), live[core].Next(); got != want {
+				t.Fatalf("core %d record %d: replay %+v, live %+v", core, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRecordedUnknownProfilePanics is the freeze-latch white-box test: once
+// the cache map is built (alongside the registry freeze), recording an
+// unregistered profile is a loud panic, mirroring a late register.
+func TestRecordedUnknownProfilePanics(t *testing.T) {
+	ensureRecordings()
+	if !frozen.Load() {
+		t.Fatal("building the recording cache must freeze the registry")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic recording an unknown profile after freeze")
+		}
+	}()
+	Recorded(Profile{Name: "no-such-profile", build: func(region, seed uint64) trace.Generator {
+		return trace.NewStream(trace.StreamConfig{Name: "x", Size: 1 << 20, Seed: seed})
+	}}, 1_000)
+}
+
+func TestTraceDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	SetTraceDir(dir)
+	defer SetTraceDir("")
+	p, err := ByName("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 7_000
+	rec := Recorded(p, budget)
+	path := filepath.Join(dir, RecordingFileName(p, budget))
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("recording was not persisted: %v", err)
+	}
+	loaded, err := trace.ReadRecording(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Checksum() != rec.Checksum() || loaded.Len() != rec.Len() {
+		t.Fatal("persisted recording does not match the in-process one")
+	}
+
+	// A corrupt file must be ignored with a live-recording fallback, not
+	// poison the run. Use a distinct budget so the in-process cache misses.
+	const budget2 = 8_000
+	bad := filepath.Join(dir, RecordingFileName(p, budget2))
+	if err := os.WriteFile(bad, []byte("CHRCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := Recorded(p, budget2)
+	if rec2.Instructions() < budget2 {
+		t.Fatalf("fallback recording covers %d instructions, want >= %d", rec2.Instructions(), budget2)
+	}
+	if GenerationTime() <= 0 {
+		t.Fatal("generation time must be accounted")
+	}
+}
