@@ -39,7 +39,7 @@ func TestAllocBudget(t *testing.T) {
 		c := cache.New(cache.Config{Name: "B", Sets: 2048, Ways: 12}, policy.NewLRU())
 		check(t, "cache access (LRU)", func(i int) {
 			addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 28) &^ 63)
-			c.Access(mem.Access{PC: 1, Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+			c.Access(mem.Access{PC: 1, Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 		})
 	})
 
@@ -50,7 +50,7 @@ func TestAllocBudget(t *testing.T) {
 		c := cache.New(cache.Config{Name: "B", Sets: 2048, Ways: 12}, a)
 		check(t, "cache access (CHROME)", func(i int) {
 			addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 28) &^ 63)
-			c.Access(mem.Access{PC: uint64(i % 31), Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+			c.Access(mem.Access{PC: mem.PCOf(uint64(i % 31)), Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 		})
 	})
 
@@ -107,7 +107,7 @@ func TestAllocBudget(t *testing.T) {
 	t.Run("DRAMAccess", func(t *testing.T) {
 		d := sim.NewDRAM(sim.DefaultDRAMConfig())
 		check(t, "DRAM access", func(i int) {
-			d.Access(mem.Addr(i*64), uint64(i*3), i&7 == 0)
+			d.Access(mem.Addr(i*64), mem.CycleOf(uint64(i*3)), i&7 == 0)
 		})
 	})
 }

@@ -120,7 +120,7 @@ func benchWorkloadSpeedup(b *testing.B, ccfg intchrome.Config, sysMod func(*sim.
 	var ws float64
 	for i := 0; i < b.N; i++ {
 		base := run(experiments.LRUScheme().Factory)
-		res := run(func(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+		res := run(func(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
 			a := intchrome.New(ccfg, sets, ways)
 			a.Obstructed = obstructed
 			return a
@@ -203,7 +203,7 @@ func BenchmarkCacheAccessLRU(b *testing.B) {
 	c := cache.New(cache.Config{Name: "B", Sets: 2048, Ways: 12}, policy.NewLRU())
 	for i := 0; i < b.N; i++ {
 		addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 28) &^ 63)
-		c.Access(mem.Access{PC: 1, Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 1, Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 }
 
@@ -214,14 +214,14 @@ func BenchmarkCacheAccessCHROME(b *testing.B) {
 	c := cache.New(cache.Config{Name: "B", Sets: 2048, Ways: 12}, a)
 	for i := 0; i < b.N; i++ {
 		addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 28) &^ 63)
-		c.Access(mem.Access{PC: uint64(i % 31), Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: mem.PCOf(uint64(i % 31)), Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 }
 
 func BenchmarkDRAMAccess(b *testing.B) {
 	d := sim.NewDRAM(sim.DefaultDRAMConfig())
 	for i := 0; i < b.N; i++ {
-		d.Access(mem.Addr(i*64), uint64(i*3), i&7 == 0)
+		d.Access(mem.Addr(i*64), mem.CycleOf(uint64(i*3)), i&7 == 0)
 	}
 }
 
@@ -320,7 +320,7 @@ func BenchmarkEndToEnd4Core(b *testing.B) {
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
 		sys := sim.New(cfg, workload.HomogeneousMix(p, 4), experiments.CHROMEScheme(experiments.ChromeConfig()).Factory)
-		instructions += sys.Run(10_000, 50_000).TotalInstructions
+		instructions += sys.Run(10_000, 50_000).TotalInstructions.Uint64()
 	}
 	reportMIPS(b, instructions)
 }
@@ -343,7 +343,7 @@ func BenchmarkEndToEnd4CoreReplay(b *testing.B) {
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
 		sys := sim.New(cfg, workload.HomogeneousReplayMix(p, 4, 60_000), experiments.CHROMEScheme(experiments.ChromeConfig()).Factory)
-		instructions += sys.Run(10_000, 50_000).TotalInstructions
+		instructions += sys.Run(10_000, 50_000).TotalInstructions.Uint64()
 	}
 	reportMIPS(b, instructions)
 }

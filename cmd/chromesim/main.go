@@ -68,7 +68,7 @@ func main() {
 		if strings.EqualFold(*policy, "N-CHROME") {
 			ccfg = experiments.NChromeConfig()
 		}
-		scheme = experiments.Scheme{Name: scheme.Name, Factory: func(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+		scheme = experiments.Scheme{Name: scheme.Name, Factory: func(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
 			agent = chrome.New(ccfg, sets, ways)
 			agent.Obstructed = obstructed
 			if *loadQT != "" {
@@ -101,7 +101,7 @@ func main() {
 			name := filepath.Base(*traceFile)
 			gens := make([]trace.Generator, *cores)
 			for i := range gens {
-				gens[i] = trace.Rebase(trace.NewReplay(name, recs), mem.Addr(i)<<36)
+				gens[i] = trace.Rebase(trace.NewReplay(name, recs), mem.AddrOf(uint64(i))<<36)
 			}
 			return gens, nil
 		}
@@ -136,7 +136,7 @@ func main() {
 		cfg.L1Prefetcher = pf.L1
 		cfg.L2Prefetcher = pf.L2
 		sys := sim.New(cfg, gens, s.Factory)
-		return sys.Run(*warmup, *measure), nil
+		return sys.Run(mem.InstrOf(*warmup), mem.InstrOf(*measure)), nil
 	}
 
 	if *traceFile != "" {

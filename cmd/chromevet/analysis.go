@@ -29,6 +29,10 @@ const (
 	// parallel-safety layer: internal/{sim,cache,policy,chrome,cpu,camat,
 	// prefetch} and below.
 	ScopeCore
+	// ScopeModule covers every package of the module (internal, cmd,
+	// examples): used by checks whose invariant crosses the internal
+	// boundary, like the typed-quantity discipline.
+	ScopeModule
 )
 
 // coreDirs are the ScopeCore package roots (relative to <module>/internal/).
@@ -36,6 +40,9 @@ var coreDirs = []string{"sim", "cache", "policy", "chrome", "cpu", "camat", "pre
 
 // inScope reports whether a package path falls under the scope.
 func inScope(s Scope, modPath, pkgPath string) bool {
+	if s == ScopeModule {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
 	rest, ok := strings.CutPrefix(pkgPath, modPath+"/internal/")
 	if !ok {
 		return false
@@ -86,6 +93,8 @@ func Analyzers() []*Analyzer {
 		analyzerConcPrim(),
 		analyzerHotAlloc(),
 		analyzerFrozenShare(),
+		analyzerUnits(),
+		analyzerHwWidth(),
 	}
 }
 
@@ -122,6 +131,22 @@ func RunAnalyzers(l *Loader, pkgs []*Package) []Finding {
 				continue
 			}
 			out = append(out, f)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// RunSelfAudit applies every per-package analyzer to the given packages
+// regardless of scope: chromevet holding its own source to the rules it
+// enforces on the simulator. Global analyzers are skipped — they reason
+// about the simulator's package graph (policy registry, fixture coverage),
+// not about any single package's code.
+func RunSelfAudit(l *Loader, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			out = append(out, filterAllowed(p, a.Name, a.Run(&Pass{L: l, P: p}))...)
 		}
 	}
 	SortFindings(out)

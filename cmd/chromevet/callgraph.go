@@ -76,12 +76,23 @@ func referencedFuncs(p *Package, n ast.Node) []*types.Func {
 	return out
 }
 
+// funcs returns the declared functions in source order, so callers that
+// walk the decls map see a deterministic sequence.
+func (g *callGraph) funcs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		out = append(out, fn) //chromevet:allow maprange -- collect-then-sort: gathers the keys for the sort below
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
 // initRoots returns the functions that run (or become referenced) during
 // package initialization: init functions plus functions referenced from
 // package-level variable initializers.
 func (g *callGraph) initRoots() []*types.Func {
 	var roots []*types.Func
-	for fn := range g.decls {
+	for _, fn := range g.funcs() {
 		if fn.Name() == "init" && fn.Type().(*types.Signature).Recv() == nil {
 			roots = append(roots, fn)
 		}
@@ -93,7 +104,7 @@ func (g *callGraph) initRoots() []*types.Func {
 // init: exported functions and methods, plus main in a main package.
 func (g *callGraph) entryRoots() []*types.Func {
 	var roots []*types.Func
-	for fn := range g.decls {
+	for _, fn := range g.funcs() {
 		if fn.Exported() || (fn.Name() == "main" && g.pkg.Name == "main") {
 			roots = append(roots, fn)
 		}

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // analyzerMapRange flags `for range m` loops over maps in the core
@@ -217,9 +218,21 @@ func analyzerGlobalRand() *Analyzer {
 	}
 }
 
+// usedIdents returns the identifiers of the package's Uses map in source
+// order, so analyzers that walk it report deterministically.
+func usedIdents(pass *Pass) []*ast.Ident {
+	ids := make([]*ast.Ident, 0, len(pass.P.Info.Uses))
+	for id := range pass.P.Info.Uses {
+		ids = append(ids, id) //chromevet:allow maprange -- collect-then-sort: gathers the keys for the sort below
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Pos() < ids[j].Pos() })
+	return ids
+}
+
 func runGlobalRand(pass *Pass) []Finding {
 	var out []Finding
-	for id, obj := range pass.P.Info.Uses {
+	for _, id := range usedIdents(pass) {
+		obj := pass.P.Info.Uses[id]
 		fn, ok := obj.(*types.Func)
 		if !ok || fn.Pkg() == nil {
 			continue
@@ -268,7 +281,8 @@ var wallClockFuncs = map[string]bool{
 
 func runWallTime(pass *Pass) []Finding {
 	var out []Finding
-	for id, obj := range pass.P.Info.Uses {
+	for _, id := range usedIdents(pass) {
+		obj := pass.P.Info.Uses[id]
 		fn, ok := obj.(*types.Func)
 		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
 			continue

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// analyzerHwWidth enforces hardware register widths declared on struct
+// fields with a "//chromevet:width N" annotation: RRPV counters are 2-bit,
+// PSEL is 11-bit, EPV counters saturate, predictor tables have fixed index
+// widths. Go's uint8/uint16 are the storage, not the contract — a 2-bit
+// RRPV stored in a uint8 can silently reach 255 and the simulator keeps
+// running with impossible hardware state. Every store to an annotated field
+// (including stores through locals aliasing it, and composite-literal
+// initialization) must be provably within N bits: a constant that fits, a
+// mask or modulus that bounds it, a FoldHash of at most N bits, a min()
+// against a fitting constant, or another annotated value of width <= N.
+// Increments and decrements must sit under an if-guard that mentions the
+// stored expression; saturating-counter idioms that prove their bound
+// non-locally carry a "//chromevet:allow hwwidth" justification instead.
+func analyzerHwWidth() *Analyzer {
+	return &Analyzer{
+		Name:  "hwwidth",
+		Doc:   "store to a width-annotated hardware field not provably within its bit width",
+		Scope: ScopeModule,
+		Run:   runHwWidth,
+	}
+}
+
+// widthAnnotations collects "//chromevet:width N" struct-field annotations
+// of one file: field object -> declared bit width.
+func widthAnnotations(pass *Pass, f *ast.File) map[types.Object]uint {
+	out := map[types.Object]uint{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			w, ok := widthFromComments(field.Doc, field.Comment)
+			if !ok {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.P.Info.Defs[name]; obj != nil {
+					out[obj] = w
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// widthFromComments extracts the width from a field's doc or line comment.
+func widthFromComments(groups ...*ast.CommentGroup) (uint, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "chromevet:width")
+			if !ok {
+				continue
+			}
+			rest, _, _ = strings.Cut(rest, "--")
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n <= 0 || n > 64 {
+				continue
+			}
+			return uint(n), true
+		}
+	}
+	return 0, false
+}
+
+func runHwWidth(pass *Pass) []Finding {
+	var out []Finding
+	widths := map[types.Object]uint{}
+	for _, f := range pass.P.Files {
+		for obj, w := range widthAnnotations(pass, f) {
+			widths[obj] = w //chromevet:allow maprange -- map-into-map merge is order-independent
+		}
+	}
+	if len(widths) == 0 {
+		return nil
+	}
+	for _, f := range pass.P.Files {
+		out = append(out, hwWidthFile(pass, f, widths)...)
+	}
+	return out
+}
+
+// hwWidthFile checks one file's stores against the annotation table. Local
+// variables defined as direct aliases of an annotated field (r := p.rrpv[s])
+// inherit its width for the rest of the file walk.
+func hwWidthFile(pass *Pass, f *ast.File, widths map[types.Object]uint) []Finding {
+	var out []Finding
+	guards := collectGuards(f)
+	// First pass: propagate annotations to alias locals.
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			w, found := annotatedWidth(pass, as.Rhs[i], widths)
+			if !found {
+				continue
+			}
+			if obj := pass.P.Info.Defs[id]; obj != nil {
+				widths[obj] = w
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			out = append(out, hwWidthAssign(pass, st, widths, guards)...)
+		case *ast.KeyValueExpr:
+			out = append(out, hwWidthKeyValue(pass, st, widths)...)
+		case *ast.IncDecStmt:
+			if w, ok := annotatedWidth(pass, st.X, widths); ok {
+				if !guardedAt(guards, st.Pos(), types.ExprString(st.X)) {
+					out = append(out, Finding{
+						Analyzer: "hwwidth",
+						Pos:      pass.pos(st.Pos()),
+						Message: fmt.Sprintf("unguarded %s on a %d-bit field: wrap in an if that bounds %s",
+							st.Tok, w, types.ExprString(st.X)),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// annotatedWidth resolves the width annotation reached by an lvalue-like
+// expression: a selector of an annotated field, any chain of index/star/
+// paren wrappers around one, or a local alias recorded in widths.
+func annotatedWidth(pass *Pass, e ast.Expr, widths map[types.Object]uint) (uint, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if obj := pass.P.Info.ObjectOf(x.Sel); obj != nil {
+				w, ok := widths[obj]
+				return w, ok
+			}
+			return 0, false
+		case *ast.Ident:
+			if obj := pass.P.Info.ObjectOf(x); obj != nil {
+				w, ok := widths[obj]
+				return w, ok
+			}
+			return 0, false
+		default:
+			return 0, false
+		}
+	}
+}
+
+func hwWidthAssign(pass *Pass, as *ast.AssignStmt, widths map[types.Object]uint, guards []guard) []Finding {
+	var out []Finding
+	switch as.Tok {
+	case token.ASSIGN:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			w, ok := annotatedWidth(pass, lhs, widths)
+			if !ok {
+				continue
+			}
+			if widthBounded(pass, as.Rhs[i], w, widths) {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "hwwidth",
+				Pos:      pass.pos(as.Pos()),
+				Message: fmt.Sprintf("store to a %d-bit field is not provably within %d bits: mask (x & %#x), clamp, or justify with an allow comment",
+					w, w, uint64(1)<<w-1),
+			})
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.SHL_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		lhs := as.Lhs[0]
+		w, ok := annotatedWidth(pass, lhs, widths)
+		if !ok {
+			return out
+		}
+		if guardedAt(guards, as.Pos(), types.ExprString(lhs)) {
+			return out
+		}
+		out = append(out, Finding{
+			Analyzer: "hwwidth",
+			Pos:      pass.pos(as.Pos()),
+			Message: fmt.Sprintf("unguarded %s on a %d-bit field: wrap in an if that bounds %s",
+				as.Tok, w, types.ExprString(lhs)),
+		})
+	}
+	return out
+}
+
+// hwWidthKeyValue checks a composite-literal element that initializes an
+// annotated field, wherever the literal appears (assignment, return, call).
+func hwWidthKeyValue(pass *Pass, kv *ast.KeyValueExpr, widths map[types.Object]uint) []Finding {
+	key, ok := kv.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.P.Info.ObjectOf(key)
+	if obj == nil {
+		return nil
+	}
+	w, ok := widths[obj]
+	if !ok {
+		return nil
+	}
+	if widthBounded(pass, kv.Value, w, widths) {
+		return nil
+	}
+	return []Finding{{
+		Analyzer: "hwwidth",
+		Pos:      pass.pos(kv.Pos()),
+		Message: fmt.Sprintf("initializer of a %d-bit field is not provably within %d bits",
+			w, w),
+	}}
+}
+
+// widthBounded reports whether e is syntactically guaranteed to fit in w
+// bits. Subtracting a positive constant from a bounded value is accepted
+// (the saturating-floor idiom "max - 1" on constant-initialized ceilings);
+// unsigned wrap there would require the ceiling below the constant, which
+// the ceiling's own width proof already rules out for the idiomatic case.
+func widthBounded(pass *Pass, e ast.Expr, w uint, widths map[types.Object]uint) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.P.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact {
+			return w >= 64 || v < uint64(1)<<w
+		}
+		return false
+	}
+	if fw, ok := annotatedWidth(pass, e, widths); ok {
+		return fw <= w
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.AND:
+			return constFits(pass, x.X, w) || constFits(pass, x.Y, w)
+		case token.REM:
+			if v, ok := constVal(pass, x.Y); ok {
+				return w >= 64 || v <= uint64(1)<<w
+			}
+		case token.SUB:
+			if _, isConst := constVal(pass, x.Y); isConst {
+				return widthBounded(pass, x.X, w, widths)
+			}
+		}
+	case *ast.CallExpr:
+		// A conversion keeps the question on its operand.
+		if tv, ok := pass.P.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return widthBounded(pass, x.Args[0], w, widths)
+		}
+		// make/new yield zero values, which fit any width.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+			if _, isBuiltin := pass.P.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		// mem.FoldHash(x, bits) is in [0, 1<<bits).
+		if fn := calleeFunc(pass, x); fn != nil && fn.Name() == "FoldHash" &&
+			fn.Pkg() != nil && pathBase(fn.Pkg().Path()) == "mem" && len(x.Args) == 2 {
+			if bits, ok := constVal(pass, x.Args[1]); ok {
+				return uint(bits) <= w
+			}
+		}
+		// min(..., c) with a fitting constant c is bounded by c.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "min" {
+			if _, isBuiltin := pass.P.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				for _, arg := range x.Args {
+					if constFits(pass, arg, w) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// constVal returns the uint64 value of a constant expression.
+func constVal(pass *Pass, e ast.Expr) (uint64, bool) {
+	tv, ok := pass.P.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	return v, exact
+}
+
+// constFits reports whether e is a constant strictly below 1<<w.
+func constFits(pass *Pass, e ast.Expr, w uint) bool {
+	v, ok := constVal(pass, e)
+	return ok && (w >= 64 || v < uint64(1)<<w)
+}
+
+// guard is the span of one if-body together with its condition text, used
+// to decide whether an increment is dominated by a bound check.
+type guard struct {
+	from, to token.Pos
+	cond     string
+}
+
+// collectGuards indexes every if statement of the file.
+func collectGuards(f *ast.File) []guard {
+	var out []guard
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		// Only the then-body span is recorded: the else branch of
+		// "if x > 0 { } else { x-- }" is not guarded by the condition.
+		// An "else if" chain is its own IfStmt and indexes itself.
+		out = append(out, guard{from: ifs.Body.Pos(), to: ifs.Body.End(), cond: types.ExprString(ifs.Cond)})
+		return true
+	})
+	return out
+}
+
+// guardedAt reports whether pos sits inside an if-body whose condition
+// mentions the stored expression with a comparison operator — the
+// syntactic shape of a saturating counter ("if x < max { x++ }").
+func guardedAt(guards []guard, pos token.Pos, expr string) bool {
+	for _, g := range guards {
+		if pos < g.from || pos >= g.to {
+			continue
+		}
+		if !strings.Contains(g.cond, expr) {
+			continue
+		}
+		for _, op := range []string{"<", ">", "!="} {
+			if strings.Contains(g.cond, op) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -17,6 +17,12 @@
 //     the single-threaded core simulator packages (concprim). Together
 //     these certify that simulator instances share no mutable state, so
 //     the experiments runner may execute cells concurrently;
+//   - dimension safety: raw integers may become typed hardware quantities
+//     (mem.Addr, mem.Cycle, ...) only through the mem package's named
+//     constructors and accessors, and quantities never cross dimensions or
+//     multiply into nonsense units (units); struct fields annotated
+//     "//chromevet:width N" model N-bit hardware registers and every store
+//     to them must be provably within the width (hwwidth);
 //   - performance: no allocation sites (make/new/escaping composite
 //     literals/growable appends) inside functions annotated
 //     //chromevet:hot — the certified zero-allocation per-access path
@@ -29,6 +35,8 @@
 //
 // Usage: go run ./cmd/chromevet ./...
 // Exit status is 1 when any finding is reported, 0 on a clean tree.
+// The -self flag audits chromevet's own source with every per-package
+// analyzer, scopes bypassed — the suite holds itself to its own rules.
 package main
 
 import (
@@ -49,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("chromevet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "list analyzed packages")
+	self := fs.Bool("self", false, "audit chromevet's own source with every per-package analyzer, ignoring scopes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,6 +83,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "chromevet:", err)
 		return 2
 	}
+	if *self {
+		// The self-audit holds the analyzer suite to its own rules; the
+		// scope bypass matters because cmd/chromevet sits outside every
+		// analyzer scope except ScopeModule.
+		paths = []string{modPath + "/cmd/chromevet"}
+	}
 	var pkgs []*Package
 	for _, path := range paths {
 		p, err := loader.Load(path)
@@ -88,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := RunAnalyzers(loader, pkgs)
+	if *self {
+		findings = RunSelfAudit(loader, pkgs)
+	}
 	for _, f := range findings {
 		rel := f.Pos.Filename
 		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {

@@ -82,6 +82,8 @@ func fixtureLoader(t *testing.T) *Loader {
 	l.Override("chrome/internal/cache/parfixture", filepath.Join(base, "concprim"))
 	l.Override("chrome/internal/vetfixture/hotalloc", filepath.Join(base, "hotalloc"))
 	l.Override("chrome/internal/vetfixture/frozenshare", filepath.Join(base, "frozenshare"))
+	l.Override("chrome/internal/vetfixture/units", filepath.Join(base, "units"))
+	l.Override("chrome/internal/vetfixture/hwwidth", filepath.Join(base, "hwwidth"))
 	return l
 }
 
@@ -108,6 +110,8 @@ func TestFixtures(t *testing.T) {
 		{"concprim", "chrome/internal/cache/parfixture", []string{"concprim"}},
 		{"hotalloc", "chrome/internal/vetfixture/hotalloc", []string{"hotalloc"}},
 		{"frozenshare", "chrome/internal/vetfixture/frozenshare", []string{"frozenshare"}},
+		{"units", "chrome/internal/vetfixture/units", []string{"units"}},
+		{"hwwidth", "chrome/internal/vetfixture/hwwidth", []string{"hwwidth"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -213,6 +217,25 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	if len(pkgs) < 15 {
 		t.Errorf("expected to analyze at least 15 packages, got %d", len(pkgs))
+	}
+}
+
+// TestSelfAuditClean holds chromevet to its own rules: the per-package
+// suite with scopes bypassed, over cmd/chromevet itself — the same check
+// CI performs with `go run ./cmd/chromevet -self`.
+func TestSelfAuditClean(t *testing.T) {
+	root := repoRoot(t)
+	_, modPath, err := FindModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	pkg, err := l.Load(modPath + "/cmd/chromevet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range RunSelfAudit(l, []*Package{pkg}) {
+		t.Errorf("self-audit finding: %s", f)
 	}
 }
 

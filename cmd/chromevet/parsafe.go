@@ -43,7 +43,8 @@ func runGlobalMut(pass *Pass) []Finding {
 	}
 
 	var out []Finding
-	for fn, decl := range g.decls {
+	for _, fn := range g.funcs() {
+		decl := g.decls[fn]
 		if decl.Body == nil || isInit(fn) {
 			continue
 		}

@@ -82,7 +82,7 @@ func runPolicyReg(l *Loader, loaded []*Package) []Finding {
 	referenced := map[string]bool{}
 	for _, obj := range expPkg.Info.Uses {
 		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == policyPath {
-			referenced[fn.Name()] = true
+			referenced[fn.Name()] = true //chromevet:allow maprange -- set insert is order-independent
 		}
 	}
 

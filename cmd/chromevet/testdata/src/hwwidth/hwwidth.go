@@ -1,0 +1,87 @@
+// Package fixture exercises the hwwidth analyzer: struct fields annotated
+// "//chromevet:width N" model hardware registers of N bits inside wider Go
+// storage, and every store must be provably within the declared width.
+package fixture
+
+import "chrome/internal/mem"
+
+// rrip models a policy with hardware-width counters.
+type rrip struct {
+	// maxRRPV is the constant ceiling of the RRPV counters.
+	maxRRPV uint8 //chromevet:width 2
+	// rrpv holds one 2-bit re-reference prediction value per way.
+	rrpv []uint8 //chromevet:width 2
+	// psel is the 11-bit set-dueling selector (range [0, 1024]).
+	psel int //chromevet:width 11
+	// raw carries no annotation and is never checked.
+	raw uint8
+}
+
+// newRRIP is a negative case: composite-literal initializers are checked
+// and these fit (make yields zero values).
+func newRRIP(ways int) *rrip {
+	return &rrip{
+		maxRRPV: 3,
+		rrpv:    make([]uint8, ways),
+		psel:    1 << 9,
+	}
+}
+
+// fill is a negative case: an annotated value of equal width is bounded.
+func (r *rrip) fill(way int) { r.rrpv[way] = r.maxRRPV }
+
+// insert is a negative case: the saturating-floor idiom "ceiling - 1".
+func (r *rrip) insert(way int) { r.rrpv[way] = r.maxRRPV - 1 }
+
+// hash is a negative case: the mask bounds the stored value.
+func (r *rrip) hash(x uint64) { r.rrpv[0] = uint8(x & 3) }
+
+// folded is a negative case: FoldHash yields a value below 1<<2.
+func (r *rrip) folded(pc mem.PC) { r.rrpv[0] = uint8(mem.FoldHash(pc.Uint64(), 2)) }
+
+// overwide stores an arbitrary uint8 into a 2-bit register.
+func (r *rrip) overwide(v uint8) {
+	r.rrpv[0] = v // want hwwidth "store to a 2-bit field is not provably within 2 bits"
+}
+
+// bump is a negative case: the increment sits under its bound guard.
+func (r *rrip) bump(way int) {
+	if r.rrpv[way] < r.maxRRPV {
+		r.rrpv[way]++
+	}
+}
+
+// runaway increments with no guard: the 2-bit counter reaches 255.
+func (r *rrip) runaway(way int) {
+	r.rrpv[way]++ // want hwwidth "unguarded \+\+ on a 2-bit field"
+}
+
+// drain is a negative case: the decrement sits under its zero guard.
+func (r *rrip) drain() {
+	if r.psel > 0 {
+		r.psel--
+	}
+}
+
+// underflow decrements with no guard: wraps far past 11 bits.
+func (r *rrip) underflow() {
+	r.psel-- // want hwwidth "unguarded -- on a 11-bit field"
+}
+
+// aliased stores through a local alias of the annotated field; the alias
+// inherits the annotation.
+func (r *rrip) aliased(v uint8) {
+	row := r.rrpv
+	row[0] = v // want hwwidth "store to a 2-bit field is not provably within 2 bits"
+}
+
+// badInit initializes past the declared width.
+func badInit() *rrip {
+	return &rrip{maxRRPV: 4} // want hwwidth "initializer of a 2-bit field"
+}
+
+// escape is the justification escape for a proof the analyzer cannot see.
+func (r *rrip) escape(way int) {
+	//chromevet:allow hwwidth -- fixture: aged only when every way is below the ceiling
+	r.rrpv[way]++
+}

@@ -19,16 +19,18 @@ func NewGood() *Good { return &Good{} }
 func (*Good) Name() string { return "good" }
 
 // Victim implements cache.Policy.
-func (*Good) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) { return 0, false }
+func (*Good) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (int, bool) {
+	return 0, false
+}
 
 // OnHit implements cache.Policy.
-func (*Good) OnHit(set, way int, blocks []cache.Block, acc mem.Access) {}
+func (*Good) OnHit(set mem.SetIdx, way int, blocks []cache.Block, acc mem.Access) {}
 
 // OnFill implements cache.Policy.
-func (*Good) OnFill(set, way int, blocks []cache.Block, acc mem.Access) {}
+func (*Good) OnFill(set mem.SetIdx, way int, blocks []cache.Block, acc mem.Access) {}
 
 // OnEvict implements cache.Policy.
-func (*Good) OnEvict(set, way int, blocks []cache.Block) {}
+func (*Good) OnEvict(set mem.SetIdx, way int, blocks []cache.Block) {}
 
 // Orphan implements cache.Policy but no scheme ever constructs it, so it
 // silently drops out of every comparison figure.

@@ -1,0 +1,64 @@
+// Package fixture exercises the units analyzer: the dimension-carrying
+// quantity types of chrome/internal/mem (Addr, BlockAddr, PC, Cycle, Instr,
+// SetIdx, CoreID) may only be created, stripped, or crossed inside the mem
+// package itself or through its blessed constructors and accessors.
+package fixture
+
+import "chrome/internal/mem"
+
+// epoch is a negative case: constants are dimensionless by definition.
+const epoch = mem.Cycle(100_000)
+
+// construct is a negative case: the XxxOf constructors are the blessed
+// raw-to-quantity boundary.
+func construct(x uint64, n int) (mem.Addr, mem.CoreID) {
+	return mem.AddrOf(x), mem.CoreIDOf(n)
+}
+
+// strip is a negative case: the accessors are the blessed quantity-to-raw
+// exit.
+func strip(a mem.Addr, s mem.SetIdx) (uint64, int) {
+	return a.Uint64(), s.Int()
+}
+
+// named is a negative case: crossing dimensions through the named mem
+// conversions keeps the intent visible.
+func named(a mem.Addr, sets uint64) mem.SetIdx {
+	return a.Block().Set(sets - 1)
+}
+
+// rawToQuantity converts a raw integer straight to a quantity type.
+func rawToQuantity(x uint64) mem.Addr {
+	return mem.Addr(x) // want units "raw integer converted directly to mem\.Addr"
+}
+
+// quantityToRaw strips the dimension without the accessor.
+func quantityToRaw(c mem.Cycle) uint64 {
+	return uint64(c) // want units "uint64\(...\) strips the mem\.Cycle dimension"
+}
+
+// crossDimension turns instructions into cycles as if IPC were always 1.
+func crossDimension(i mem.Instr) mem.Cycle {
+	return mem.Cycle(i) // want units "conversion crosses dimensions \(mem\.Instr -> mem\.Cycle\)"
+}
+
+// squared multiplies two byte addresses: bytes² fits no hardware register.
+func squared(a, b mem.Addr) mem.Addr {
+	return a * b // want units "product of two mem\.Addr values"
+}
+
+// cancelled divides cycles by cycles without Cycle.Div.
+func cancelled(c, per mem.Cycle) mem.Cycle {
+	return c / per // want units "ratio of two mem\.Cycle values"
+}
+
+// scaled is a negative case: constant factors are scale, not dimension.
+func scaled(c mem.Cycle) mem.Cycle {
+	return c * 3 / 2
+}
+
+// escape is the annotation escape for a deliberate raw conversion.
+func escape(x uint64) mem.PC {
+	//chromevet:allow units -- fixture: documented escape hatch
+	return mem.PC(x)
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// quantityNames are the dimension-carrying types of chrome/internal/mem.
+// Each wraps a raw integer whose unit (bytes, blocks, cycles, instructions,
+// set slots, core slots) is invisible to the compiler once stripped; the
+// units analyzer keeps the stripping confined to the mem package and its
+// blessed constructors/accessors.
+var quantityNames = map[string]bool{
+	"Addr":      true,
+	"BlockAddr": true,
+	"PC":        true,
+	"Cycle":     true,
+	"Instr":     true,
+	"SetIdx":    true,
+	"CoreID":    true,
+}
+
+// analyzerUnits flags raw-integer <-> quantity conversions outside
+// internal/mem and arithmetic that mixes or cancels dimensions. Allowed
+// forms are the mem.XxxOf constructors, the .Uint64()/.Int() accessors,
+// untyped constants (dimensionless by definition), and anything inside the
+// mem package itself, which is the one blessed conversion boundary.
+func analyzerUnits() *Analyzer {
+	return &Analyzer{
+		Name:  "units",
+		Doc:   "dimension-unsafe conversion or arithmetic on mem quantity types",
+		Scope: ScopeModule,
+		Run:   runUnits,
+	}
+}
+
+// memPath returns the import path of the quantity-type home package.
+func memPath(l *Loader) string { return l.ModPath + "/internal/mem" }
+
+// quantityOf returns the quantity-type name of t ("Addr", "Cycle", ...) or
+// "" when t is not one of the mem quantity types.
+func quantityOf(l *Loader, t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != memPath(l) {
+		return ""
+	}
+	if !quantityNames[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}
+
+// rawAccessor names the blessed accessor for converting a quantity back to
+// a raw integer of the given basic kind.
+func rawAccessor(q string, dst *types.Basic) string {
+	if (q == "SetIdx" || q == "CoreID") && dst.Info()&types.IsInteger != 0 && dst.Kind() == types.Int {
+		return ".Int()"
+	}
+	return ".Uint64()"
+}
+
+func runUnits(pass *Pass) []Finding {
+	if pass.P.Path == memPath(pass.L) {
+		return nil // the mem package is the conversion boundary
+	}
+	var out []Finding
+	for _, f := range pass.P.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				out = append(out, unitsCheckConversion(pass, x)...)
+			case *ast.BinaryExpr:
+				out = append(out, unitsCheckArith(pass, x)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// unitsCheckConversion flags T(x) conversions that create, strip, or cross
+// a dimension outside the blessed boundary.
+func unitsCheckConversion(pass *Pass, call *ast.CallExpr) []Finding {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	info := pass.P.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	dst := tv.Type
+	arg := call.Args[0]
+	if atv, ok := info.Types[arg]; ok && atv.Value != nil {
+		return nil // compile-time constants are dimensionless
+	}
+	srcT := info.TypeOf(arg)
+	if srcT == nil {
+		return nil
+	}
+	dstQ := quantityOf(pass.L, dst)
+	srcQ := quantityOf(pass.L, srcT)
+	switch {
+	case dstQ != "" && srcQ == dstQ:
+		return nil // no-op re-conversion
+	case dstQ != "" && srcQ != "":
+		return []Finding{{
+			Analyzer: "units",
+			Pos:      pass.pos(call.Pos()),
+			Message: fmt.Sprintf("conversion crosses dimensions (mem.%s -> mem.%s): route through a named mem conversion (e.g. Addr.Block, BlockAddr.Set) or raw accessors",
+				srcQ, dstQ),
+		}}
+	case dstQ != "":
+		return []Finding{{
+			Analyzer: "units",
+			Pos:      pass.pos(call.Pos()),
+			Message: fmt.Sprintf("raw integer converted directly to mem.%s: use the mem.%sOf constructor at a blessed boundary",
+				dstQ, dstQ),
+		}}
+	case srcQ != "":
+		dstStr := types.TypeString(dst, nil)
+		acc := ".Uint64()"
+		if b, ok := dst.Underlying().(*types.Basic); ok {
+			acc = rawAccessor(srcQ, b)
+		}
+		return []Finding{{
+			Analyzer: "units",
+			Pos:      pass.pos(call.Pos()),
+			Message: fmt.Sprintf("%s(...) strips the mem.%s dimension: use the %s accessor",
+				dstStr, srcQ, acc),
+		}}
+	}
+	return nil
+}
+
+// unitsCheckArith flags same-dimension products and ratios: multiplying two
+// cycle counts (or two addresses) yields a dimension-squared value no
+// hardware register holds, and dividing them cancels the unit — both belong
+// behind named helpers (Cycle.Div) or explicit raw accessors.
+func unitsCheckArith(pass *Pass, b *ast.BinaryExpr) []Finding {
+	op := b.Op.String()
+	if op != "*" && op != "/" {
+		return nil
+	}
+	info := pass.P.Info
+	// Constant operands (untyped or typed) are scale factors, not quantities.
+	if tv, ok := info.Types[b.X]; ok && tv.Value != nil {
+		return nil
+	}
+	if tv, ok := info.Types[b.Y]; ok && tv.Value != nil {
+		return nil
+	}
+	xt, yt := info.TypeOf(b.X), info.TypeOf(b.Y)
+	if xt == nil || yt == nil {
+		return nil
+	}
+	xq, yq := quantityOf(pass.L, xt), quantityOf(pass.L, yt)
+	if xq == "" || xq != yq {
+		return nil
+	}
+	verb, hint := "product", "multiplying two quantities squares the dimension: convert through raw accessors first"
+	if op == "/" {
+		verb, hint = "ratio", "same-dimension division cancels the unit: use Cycle.Div or raw accessors"
+	}
+	return []Finding{{
+		Analyzer: "units",
+		Pos:      pass.pos(b.OpPos),
+		Message:  fmt.Sprintf("%s of two mem.%s values: %s", verb, xq, hint),
+	}}
+}

@@ -34,12 +34,12 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiment runners")
-		runID   = flag.String("run", "", "run specific experiments by id, comma-separated (default: all)")
-		scale   = flag.String("scale", "quick", "simulation scale: quick | full")
-		qualify = flag.Bool("qualify", false, "print per-workload baseline MPKI (selection criterion)")
-		outdir  = flag.String("outdir", "", "also write each report as CSV into this directory")
-		mdOut   = flag.String("md", "", "also write all reports as a markdown results document")
+		list     = flag.Bool("list", false, "list available experiment runners")
+		runID    = flag.String("run", "", "run specific experiments by id, comma-separated (default: all)")
+		scale    = flag.String("scale", "quick", "simulation scale: quick | full")
+		qualify  = flag.Bool("qualify", false, "print per-workload baseline MPKI (selection criterion)")
+		outdir   = flag.String("outdir", "", "also write each report as CSV into this directory")
+		mdOut    = flag.String("md", "", "also write all reports as a markdown results document")
 		jobs     = flag.Int("j", runtime.NumCPU(), "worker pool size for independent simulation cells (1 = sequential)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")

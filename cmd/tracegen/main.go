@@ -63,7 +63,7 @@ func main() {
 	fmt.Fprintln(w, "pc,addr,write,dependent,gap")
 	for i := 0; i < *n; i++ {
 		rec := gen.Next()
-		fmt.Fprintf(w, "%#x,%#x,%v,%v,%d\n", rec.PC, uint64(rec.Addr), rec.Write, rec.Dependent, rec.Gap)
+		fmt.Fprintf(w, "%#x,%#x,%v,%v,%d\n", rec.PC, rec.Addr.Uint64(), rec.Write, rec.Dependent, rec.Gap)
 	}
 }
 

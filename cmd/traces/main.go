@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"chrome/internal/experiments"
+	"chrome/internal/mem"
 	"chrome/internal/trace"
 	"chrome/internal/workload"
 )
@@ -58,7 +59,7 @@ func usage() {
 }
 
 // scaleBudget resolves a -scale name to its warmup+measure per-core window.
-func scaleBudget(scale string) (uint64, error) {
+func scaleBudget(scale string) (mem.Instr, error) {
 	switch scale {
 	case "quick":
 		sc := experiments.QuickScale()
@@ -79,7 +80,7 @@ func record(args []string) error {
 	budget := fs.Uint64("budget", 0, "explicit per-core instruction budget (overrides -scale)")
 	fs.Parse(args)
 
-	b := *budget
+	b := mem.InstrOf(*budget)
 	if b == 0 {
 		var err error
 		if b, err = scaleBudget(*scale); err != nil {
@@ -174,7 +175,7 @@ func verify(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fresh := workload.Recorded(p, rec.Instructions())
+		fresh := workload.Recorded(p, mem.InstrOf(rec.Instructions()))
 		if fresh.Len() != rec.Len() || fresh.Instructions() != rec.Instructions() {
 			return fmt.Errorf("%s: STALE: live generator yields %d records / %d instructions, file has %d / %d",
 				path, fresh.Len(), fresh.Instructions(), rec.Len(), rec.Instructions())

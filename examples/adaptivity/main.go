@@ -34,7 +34,7 @@ func phasedMix(cores int) []trace.Generator {
 				HotFrac: 0.8, Gap: 3, Writes: 0.2, PCs: 12, Seed: uint64(i + 1),
 			}),
 		)
-		gens[i] = trace.Rebase(g, mem.Addr(i)<<36)
+		gens[i] = trace.Rebase(g, mem.AddrOf(uint64(i))<<36)
 	}
 	return gens
 }
@@ -54,7 +54,7 @@ func main() {
 	mj := run(experiments.MockingjayScheme().Factory)
 
 	var agent *chrome.Agent
-	res := run(func(sets, ways, c int, obstructed func(int) bool) cache.Policy {
+	res := run(func(sets, ways, c int, obstructed func(mem.CoreID) bool) cache.Policy {
 		agent = chrome.New(experiments.ChromeConfig(), sets, ways)
 		agent.Obstructed = obstructed
 		return agent

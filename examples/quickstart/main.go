@@ -9,6 +9,7 @@ import (
 
 	"chrome/internal/cache"
 	"chrome/internal/chrome"
+	"chrome/internal/mem"
 	"chrome/internal/metrics"
 	"chrome/internal/policy"
 	"chrome/internal/prefetch"
@@ -35,14 +36,14 @@ func main() {
 	}
 
 	// Baseline: classic LRU.
-	base := run(func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	base := run(func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewLRU()
 	})
 
 	// CHROME: the online-RL holistic cache manager. The obstructed callback
 	// wires the C-AMAT monitor's concurrency feedback into its rewards.
 	var agent *chrome.Agent
-	res := run(func(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+	res := run(func(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
 		ccfg := chrome.DefaultConfig()
 		ccfg.SampledSets = 256 // denser sampling for short runs
 		agent = chrome.New(ccfg, sets, ways)

@@ -16,7 +16,7 @@ type Block struct {
 	// Valid marks the way as holding data.
 	Valid bool
 	// Tag is the block number (full address >> BlockShift).
-	Tag uint64
+	Tag mem.BlockAddr
 	// Dirty marks the line as modified.
 	Dirty bool
 	// Prefetched marks a line whose fill was prefetch-initiated.
@@ -24,18 +24,18 @@ type Block struct {
 	// Used marks a line that has been demand-hit since fill.
 	Used bool
 	// LastTouch is the cycle of the most recent access (LRU recency).
-	LastTouch uint64
+	LastTouch mem.Cycle
 	// FillCycle is the cycle at which the line was filled.
-	FillCycle uint64
+	FillCycle mem.Cycle
 	// FillPC is the PC of the fill-triggering instruction.
-	FillPC uint64
+	FillPC mem.PC
 	// FillCore is the index of the core that caused the fill.
-	FillCore int
+	FillCore mem.CoreID
 	// ReadyAt is the absolute cycle at which the line's data arrives from
 	// below. A hit before ReadyAt merges with the in-flight fill and pays
 	// the residual latency (the simulator enforces this; the cache only
 	// stores the value).
-	ReadyAt uint64
+	ReadyAt mem.Cycle
 	// FillEpoch is the stats epoch (ResetStats generation) of the fill;
 	// prefetch-usefulness is only credited to lines filled in the current
 	// epoch so EPHR stays consistent across the warmup boundary.
@@ -52,14 +52,14 @@ type Policy interface {
 	// reports bypass=true to skip caching the block entirely. blocks is the
 	// set content (read-only for the policy). An invalid way must be
 	// preferred by implementations when one exists.
-	Victim(set int, blocks []Block, acc mem.Access) (way int, bypass bool)
+	Victim(set mem.SetIdx, blocks []Block, acc mem.Access) (way int, bypass bool)
 	// OnHit notifies the policy of a hit at (set, way).
-	OnHit(set, way int, blocks []Block, acc mem.Access)
+	OnHit(set mem.SetIdx, way int, blocks []Block, acc mem.Access)
 	// OnFill notifies the policy after the block is inserted at (set, way).
-	OnFill(set, way int, blocks []Block, acc mem.Access)
+	OnFill(set mem.SetIdx, way int, blocks []Block, acc mem.Access)
 	// OnEvict notifies the policy before the block at (set, way) is
 	// overwritten by a fill (only for valid victims).
-	OnEvict(set, way int, blocks []Block)
+	OnEvict(set mem.SetIdx, way int, blocks []Block)
 }
 
 // InvariantChecker is optionally implemented by policies that can validate
@@ -69,7 +69,7 @@ type Policy interface {
 type InvariantChecker interface {
 	// CheckSetInvariants returns a non-nil error describing the first
 	// violated invariant of the policy's metadata for the set, if any.
-	CheckSetInvariants(set int) error
+	CheckSetInvariants(set mem.SetIdx) error
 }
 
 // Stats accumulates per-level counters. All counters are measured-phase
@@ -227,20 +227,20 @@ func (c *Cache) SetEvictionTracker(t *ReuseTracker) { c.evictTracker = t } //chr
 func (c *Cache) SetBypassTracker(t *ReuseTracker) { c.bypassTracker = t } //chromevet:allow aliasshare -- ownership transfer: callers build one tracker per system
 
 // SetIndex returns the set index for an address.
-func (c *Cache) SetIndex(a mem.Addr) int {
-	return int(a.BlockNumber() & c.setMask)
+func (c *Cache) SetIndex(a mem.Addr) mem.SetIdx {
+	return a.Block().Set(c.setMask)
 }
 
 // set returns the block slice of one set.
-func (c *Cache) set(idx int) []Block {
-	return c.blocks[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+func (c *Cache) set(idx mem.SetIdx) []Block {
+	return c.blocks[idx.Int()*c.cfg.Ways : (idx.Int()+1)*c.cfg.Ways]
 }
 
 // Probe reports whether the address is present, without side effects.
 //
 //chromevet:hot
 func (c *Cache) Probe(a mem.Addr) bool {
-	tag := a.BlockNumber()
+	tag := a.Block()
 	for _, b := range c.set(c.SetIndex(a)) {
 		if b.Valid && b.Tag == tag {
 			return true
@@ -258,7 +258,7 @@ func (c *Cache) Probe(a mem.Addr) bool {
 func (c *Cache) Access(acc mem.Access) Result {
 	setIdx := c.SetIndex(acc.Addr)
 	set := c.set(setIdx)
-	tag := acc.Addr.BlockNumber()
+	tag := acc.Addr.Block()
 
 	// Re-reference observation for the optional Fig. 2 / Fig. 9 trackers:
 	// unused evictions count any re-request; bypass efficiency counts only
@@ -289,7 +289,7 @@ func (c *Cache) Access(acc mem.Access) Result {
 }
 
 //chromevet:hot
-func (c *Cache) onHit(setIdx, way int, set []Block, acc mem.Access) Result {
+func (c *Cache) onHit(setIdx mem.SetIdx, way int, set []Block, acc mem.Access) Result {
 	b := &set[way]
 	b.LastTouch = acc.Cycle
 	res := Result{Hit: true, Block: b}
@@ -319,7 +319,7 @@ func (c *Cache) onHit(setIdx, way int, set []Block, acc mem.Access) Result {
 }
 
 //chromevet:hot
-func (c *Cache) onMiss(setIdx int, set []Block, acc mem.Access) Result {
+func (c *Cache) onMiss(setIdx mem.SetIdx, set []Block, acc mem.Access) Result {
 	switch acc.Type {
 	case mem.Load:
 		c.stats.DemandLoadMisses++
@@ -356,7 +356,7 @@ func (c *Cache) onMiss(setIdx int, set []Block, acc mem.Access) Result {
 				c.stats.EvictionsUnusedPF++
 			}
 			if c.evictTracker != nil {
-				c.evictTracker.Record(mem.Addr(victim.Tag << mem.BlockShift))
+				c.evictTracker.Record(victim.Tag.Addr())
 			}
 		}
 		if victim.Dirty {
@@ -364,7 +364,7 @@ func (c *Cache) onMiss(setIdx int, set []Block, acc mem.Access) Result {
 		}
 		res.EvictedValid = true
 		res.Evicted = Evicted{
-			Addr:       mem.Addr(victim.Tag << mem.BlockShift),
+			Addr:       victim.Tag.Addr(),
 			Dirty:      victim.Dirty,
 			Used:       victim.Used,
 			Prefetched: victim.Prefetched,
@@ -374,7 +374,7 @@ func (c *Cache) onMiss(setIdx int, set []Block, acc mem.Access) Result {
 
 	*victim = Block{
 		Valid:      true,
-		Tag:        acc.Addr.BlockNumber(),
+		Tag:        acc.Addr.Block(),
 		Dirty:      acc.Type == mem.Store,
 		Prefetched: acc.Type == mem.Prefetch,
 		LastTouch:  acc.Cycle,
@@ -395,7 +395,7 @@ func (c *Cache) onMiss(setIdx int, set []Block, acc mem.Access) Result {
 // Invalidate removes the block holding addr, if present, returning whether
 // it was dirty. Used for upper-level back-invalidation tests.
 func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
-	tag := a.BlockNumber()
+	tag := a.Block()
 	set := c.set(c.SetIndex(a))
 	for w := range set {
 		b := &set[w]
@@ -436,14 +436,14 @@ func NewReuseTracker(limit int) *ReuseTracker {
 func (t *ReuseTracker) Record(addr mem.Addr) {
 	t.Total++
 	if len(t.pending) < t.limit {
-		t.pending[addr.BlockAddr()] = struct{}{}
+		t.pending[addr.BlockAligned()] = struct{}{}
 	}
 }
 
 // Observe notes a new access; if it matches a tracked record, the record is
 // reclassified as re-requested.
 func (t *ReuseTracker) Observe(addr mem.Addr) {
-	key := addr.BlockAddr()
+	key := addr.BlockAligned()
 	if _, ok := t.pending[key]; ok {
 		delete(t.pending, key)
 		t.ReRequested++

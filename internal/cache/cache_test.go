@@ -11,8 +11,8 @@ import (
 type lruPolicy struct{}
 
 func (*lruPolicy) Name() string { return "test-lru" }
-func (*lruPolicy) Victim(_ int, blocks []Block, _ mem.Access) (int, bool) {
-	best, bestTouch := 0, ^uint64(0)
+func (*lruPolicy) Victim(_ mem.SetIdx, blocks []Block, _ mem.Access) (int, bool) {
+	best, bestTouch := 0, ^mem.Cycle(0)
 	for w := range blocks {
 		if !blocks[w].Valid {
 			return w, false
@@ -23,21 +23,21 @@ func (*lruPolicy) Victim(_ int, blocks []Block, _ mem.Access) (int, bool) {
 	}
 	return best, false
 }
-func (*lruPolicy) OnHit(int, int, []Block, mem.Access)  {}
-func (*lruPolicy) OnFill(int, int, []Block, mem.Access) {}
-func (*lruPolicy) OnEvict(int, int, []Block)            {}
+func (*lruPolicy) OnHit(mem.SetIdx, int, []Block, mem.Access)  {}
+func (*lruPolicy) OnFill(mem.SetIdx, int, []Block, mem.Access) {}
+func (*lruPolicy) OnEvict(mem.SetIdx, int, []Block)            {}
 
 // bypassAll bypasses every miss.
 type bypassAll struct{ lruPolicy }
 
-func (*bypassAll) Victim(int, []Block, mem.Access) (int, bool) { return 0, true }
+func (*bypassAll) Victim(mem.SetIdx, []Block, mem.Access) (int, bool) { return 0, true }
 
 func newTestCache(t *testing.T, sets, ways int) *Cache {
 	t.Helper()
 	return New(Config{Name: "T", Sets: sets, Ways: ways}, &lruPolicy{})
 }
 
-func load(addr mem.Addr, cycle uint64) mem.Access {
+func load(addr mem.Addr, cycle mem.Cycle) mem.Access {
 	return mem.Access{PC: 0x400, Addr: addr, Type: mem.Load, Cycle: cycle}
 }
 
@@ -220,7 +220,7 @@ func TestConfigValidation(t *testing.T) {
 func TestSetIndexWithinRange(t *testing.T) {
 	c := newTestCache(t, 64, 4)
 	f := func(a uint64) bool {
-		idx := c.SetIndex(mem.Addr(a))
+		idx := c.SetIndex(mem.Addr(a)).Int()
 		return idx >= 0 && idx < 64
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -236,20 +236,20 @@ func TestOccupancyInvariant(t *testing.T) {
 		c := newTestCache(t, 8, 2)
 		for i, a16 := range addrs {
 			addr := mem.Addr(a16) << 6
-			c.Access(load(addr, uint64(i+1)))
+			c.Access(load(addr, mem.Cycle(i+1)))
 		}
 		// Distinct-tag invariant per set.
 		for set := 0; set < 8; set++ {
-			seen := map[uint64]bool{}
+			seen := map[mem.BlockAddr]bool{}
 			n := 0
-			for _, b := range c.set(set) {
+			for _, b := range c.set(mem.SetIdxOf(set)) {
 				if b.Valid {
 					n++
 					if seen[b.Tag] {
 						return false
 					}
 					seen[b.Tag] = true
-					if int(b.Tag&7) != set {
+					if int(b.Tag.Uint64()&7) != set {
 						return false // block in the wrong set
 					}
 				}
@@ -274,7 +274,7 @@ func TestLRUMatchesReference(t *testing.T) {
 		ref := make(map[int][]uint64) // set -> tags, MRU first
 		for i, a8 := range addrs {
 			addr := mem.Addr(a8) << 6
-			tag := addr.BlockNumber()
+			tag := addr.Block().Uint64()
 			set := int(tag) % sets
 
 			wantHit := false
@@ -284,7 +284,7 @@ func TestLRUMatchesReference(t *testing.T) {
 					break
 				}
 			}
-			res := c.Access(load(addr, uint64(i+1)))
+			res := c.Access(load(addr, mem.Cycle(i+1)))
 			if res.Hit != wantHit {
 				return false
 			}

@@ -13,7 +13,7 @@ type badPolicy struct {
 	way int
 }
 
-func (p *badPolicy) Victim(int, []Block, mem.Access) (int, bool) { return p.way, false }
+func (p *badPolicy) Victim(mem.SetIdx, []Block, mem.Access) (int, bool) { return p.way, false }
 
 func TestCachePanicsOnInvalidVictim(t *testing.T) {
 	for _, way := range []int{-1, 2, 100} {
@@ -32,12 +32,12 @@ func TestCachePanicsOnInvalidVictim(t *testing.T) {
 // evictThrash evicts way 0 always; the cache must stay consistent.
 type evictThrash struct{ lruPolicy }
 
-func (*evictThrash) Victim(int, []Block, mem.Access) (int, bool) { return 0, false }
+func (*evictThrash) Victim(mem.SetIdx, []Block, mem.Access) (int, bool) { return 0, false }
 
 func TestCacheSurvivesDegenerateVictim(t *testing.T) {
 	c := New(Config{Name: "T", Sets: 2, Ways: 2}, &evictThrash{})
 	for i := 0; i < 1000; i++ {
-		c.Access(load(mem.Addr(i*64), uint64(i)))
+		c.Access(load(mem.Addr(i*64), mem.Cycle(i)))
 	}
 	// Way 1 of each set only ever receives the first two fills; the cache
 	// must still probe consistently.

@@ -2,9 +2,11 @@
 
 package cache
 
+import "chrome/internal/mem"
+
 // SimcheckEnabled reports whether the simulation sanitizer is compiled in.
 const SimcheckEnabled = false
 
 // checkSet is a no-op in normal builds; build with -tags simcheck to
 // validate set invariants after every access.
-func (c *Cache) checkSet(int) {}
+func (c *Cache) checkSet(mem.SetIdx) {}

@@ -2,7 +2,11 @@
 
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"chrome/internal/mem"
+)
 
 // SimcheckEnabled reports whether the simulation sanitizer is compiled in.
 const SimcheckEnabled = true
@@ -12,7 +16,7 @@ const SimcheckEnabled = true
 // InvariantChecker must report its per-set metadata consistent. Violations
 // panic with enough context to localize the corrupting transition. Without
 // -tags simcheck this compiles to an empty function (see simcheck_off.go).
-func (c *Cache) checkSet(idx int) {
+func (c *Cache) checkSet(idx mem.SetIdx) {
 	set := c.set(idx)
 	for i := range set {
 		if !set[i].Valid {

@@ -42,7 +42,7 @@ type invariantPolicy struct {
 	err error
 }
 
-func (p *invariantPolicy) CheckSetInvariants(int) error { return p.err }
+func (p *invariantPolicy) CheckSetInvariants(mem.SetIdx) error { return p.err }
 
 // TestSimcheckInvokesPolicyChecker checks that a policy implementing
 // InvariantChecker is consulted after every access and its error panics
@@ -72,6 +72,6 @@ func TestSimcheckCleanRuns(t *testing.T) {
 		case 3:
 			typ = mem.Writeback
 		}
-		c.Access(mem.Access{Addr: addr, Type: typ, Cycle: uint64(i)})
+		c.Access(mem.Access{Addr: addr, Type: typ, Cycle: mem.CycleOf(uint64(i))})
 	}
 }

@@ -14,7 +14,7 @@ func simcheckCache(p Policy) *Cache {
 func injectDuplicateTag(c *Cache) mem.Access {
 	addr := mem.Addr(0x1000)
 	set := c.set(c.SetIndex(addr))
-	tag := addr.BlockNumber()
+	tag := addr.Block()
 	set[0] = Block{Valid: true, Tag: tag}
 	set[1] = Block{Valid: true, Tag: tag}
 	// A hit on the duplicated tag leaves both corrupted ways in place, so

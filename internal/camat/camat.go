@@ -11,8 +11,10 @@
 // the core currently derives little benefit from caching at the LLC.
 package camat
 
+import "chrome/internal/mem"
+
 // DefaultEpochCycles is the paper's runtime measurement period.
-const DefaultEpochCycles = 100_000
+const DefaultEpochCycles = mem.Cycle(100_000)
 
 // Monitor tracks per-core LLC access overlap and obstruction status.
 //
@@ -20,14 +22,14 @@ const DefaultEpochCycles = 100_000
 // order (the simulator's per-core progression guarantees this); overlap
 // accounting is an exact interval-union under that ordering.
 type Monitor struct {
-	epochCycles uint64
+	epochCycles mem.Cycle
 	tMem        float64
 	cores       []coreState
 }
 
 type coreState struct {
-	epoch        uint64 // index of the epoch being accumulated
-	coveredUntil uint64 // end of the union of active intervals so far
+	epoch        uint64    // index of the epoch being accumulated
+	coveredUntil mem.Cycle // end of the union of active intervals so far
 	activeCycles uint64
 	accesses     uint64
 	obstructed   bool // verdict from the previous completed epoch
@@ -40,7 +42,7 @@ type coreState struct {
 // New builds a monitor for the given core count. tMem is the average main
 // memory latency in cycles used as the obstruction threshold; epochCycles
 // of zero selects the paper's 100K-cycle default.
-func New(cores int, tMem float64, epochCycles uint64) *Monitor {
+func New(cores int, tMem float64, epochCycles mem.Cycle) *Monitor {
 	if cores <= 0 {
 		panic("camat: cores must be positive")
 	}
@@ -58,9 +60,9 @@ func New(cores int, tMem float64, epochCycles uint64) *Monitor {
 // taking latency cycles to complete (hit or miss; prefetch or demand).
 //
 //chromevet:hot
-func (m *Monitor) Record(core int, start, latency uint64) {
+func (m *Monitor) Record(core mem.CoreID, start, latency mem.Cycle) {
 	cs := &m.cores[core]
-	epoch := start / m.epochCycles
+	epoch := start.Div(m.epochCycles)
 	if epoch != cs.epoch {
 		m.rollEpoch(cs, epoch)
 	}
@@ -71,8 +73,8 @@ func (m *Monitor) Record(core int, start, latency uint64) {
 		from = cs.coveredUntil
 	}
 	if end > from {
-		cs.activeCycles += end - from
-		cs.totalActive += end - from
+		cs.activeCycles += (end - from).Uint64()
+		cs.totalActive += (end - from).Uint64()
 		cs.coveredUntil = end
 	}
 	cs.accesses++
@@ -101,8 +103,8 @@ func (m *Monitor) rollEpoch(cs *coreState, newEpoch uint64) {
 // its most recently completed epoch.
 //
 //chromevet:hot
-func (m *Monitor) Obstructed(core int) bool {
-	if core < 0 || core >= len(m.cores) {
+func (m *Monitor) Obstructed(core mem.CoreID) bool {
+	if core.Int() < 0 || core.Int() >= len(m.cores) {
 		return false
 	}
 	return m.cores[core].obstructed
@@ -110,7 +112,7 @@ func (m *Monitor) Obstructed(core int) bool {
 
 // CAMAT returns the lifetime C-AMAT(LLC) of the core in cycles per access
 // (0 when the core issued no LLC accesses).
-func (m *Monitor) CAMAT(core int) float64 {
+func (m *Monitor) CAMAT(core mem.CoreID) float64 {
 	cs := &m.cores[core]
 	if cs.totalAccesses == 0 {
 		return 0

@@ -3,6 +3,8 @@ package camat
 import (
 	"testing"
 	"testing/quick"
+
+	"chrome/internal/mem"
 )
 
 func TestDisjointIntervals(t *testing.T) {
@@ -114,12 +116,12 @@ func TestDefaultEpoch(t *testing.T) {
 func TestCAMATBoundedByMeanLatency(t *testing.T) {
 	f := func(latencies []uint8) bool {
 		m := New(1, 100, 1<<62)
-		var start, sum uint64
+		var start, sum mem.Cycle
 		n := 0
 		for _, l := range latencies {
-			lat := uint64(l%100) + 1
+			lat := mem.Cycle(l%100) + 1
 			m.Record(0, start, lat)
-			start += uint64(l % 7) // sometimes same cycle, sometimes ahead
+			start += mem.Cycle(l % 7) // sometimes same cycle, sometimes ahead
 			sum += lat
 			n++
 		}

@@ -26,12 +26,12 @@ type Agent struct {
 	// Obstructed reports whether a core is currently LLC-obstructed; wired
 	// to the camat.Monitor by the simulator. Nil (or ConcurrencyAware
 	// false) disables the OB reward variants.
-	Obstructed func(core int) bool
+	Obstructed func(core mem.CoreID) bool
 
 	// epv holds the 2-bit Eviction Priority Value of every LLC line.
-	epv [][]uint8
+	epv [][]uint8 //chromevet:width 2
 	// pending carries the insertion EPV from Victim to OnFill.
-	pendingEPV   uint8
+	pendingEPV   uint8 //chromevet:width 2
 	pendingValid bool
 
 	stats AgentStats
@@ -122,7 +122,7 @@ func (a *Agent) state(acc mem.Access, hit bool) State {
 // obstructed reports the concurrency-aware feedback for a core.
 //
 //chromevet:hot
-func (a *Agent) obstructed(core int) bool {
+func (a *Agent) obstructed(core mem.CoreID) bool {
 	return a.cfg.ConcurrencyAware && a.Obstructed != nil && a.Obstructed(core)
 }
 
@@ -167,7 +167,7 @@ func (a *Agent) assignAccuracyReward(q int, acc mem.Access, hit bool) {
 //chromevet:hot
 func (a *Agent) nrReward(e EQEntry) int8 {
 	r := &a.cfg.Rewards
-	ob := a.obstructed(int(e.Core))
+	ob := a.obstructed(mem.CoreIDOf(int(e.Core)))
 	accurate := false
 	if e.TriggerHit {
 		accurate = e.Action == ActionEPV2
@@ -242,7 +242,7 @@ func (a *Agent) choose(s State, hit bool) Action {
 // selection.
 //
 //chromevet:hot
-func (a *Agent) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
+func (a *Agent) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (int, bool) {
 	q := a.sampler.Index(set)
 	if q >= 0 {
 		a.stats.SampledAccesses++
@@ -257,7 +257,7 @@ func (a *Agent) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool
 			Action:     act,
 			TriggerHit: false,
 			AddrHash:   HashAddr(acc.Addr),
-			Core:       uint8(acc.Core),
+			Core:       uint8(acc.Core.Int()),
 			Prefetch:   acc.IsPrefetch(),
 		})
 	}
@@ -265,7 +265,7 @@ func (a *Agent) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool
 		a.stats.Bypasses++
 		return 0, true
 	}
-	a.pendingEPV = act.EPV()
+	a.pendingEPV = act.EPV() & 3
 	a.pendingValid = true
 	if w := a.invalidWay(blocks); w >= 0 {
 		return w, false
@@ -289,9 +289,9 @@ func (a *Agent) invalidWay(blocks []cache.Block) int {
 // remaining lines; see DESIGN.md §4.2 and BenchmarkAblationVictim.)
 //
 //chromevet:hot
-func (a *Agent) victimByEPV(set int, blocks []cache.Block) int {
+func (a *Agent) victimByEPV(set mem.SetIdx, blocks []cache.Block) int {
 	epv := a.epv[set]
-	best, bestEPV, bestTouch := 0, int(-1), ^uint64(0)
+	best, bestEPV, bestTouch := 0, int(-1), ^mem.Cycle(0)
 	for w := range epv {
 		e := int(epv[w])
 		if e > bestEPV || (e == bestEPV && blocks[w].LastTouch < bestTouch) {
@@ -305,7 +305,7 @@ func (a *Agent) victimByEPV(set int, blocks []cache.Block) int {
 // action selection, EPV update, and EQ recording.
 //
 //chromevet:hot
-func (a *Agent) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+func (a *Agent) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	q := a.sampler.Index(set)
 	if q >= 0 {
 		a.stats.SampledAccesses++
@@ -314,14 +314,14 @@ func (a *Agent) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 	st := a.state(acc, true)
 	act := a.choose(st, true)
 	a.stats.HitActions[pfIndex(acc)][act]++
-	a.epv[set][way] = act.EPV()
+	a.epv[set][way] = act.EPV() & 3
 	if q >= 0 {
 		a.record(q, EQEntry{
 			State:      st,
 			Action:     act,
 			TriggerHit: true,
 			AddrHash:   HashAddr(acc.Addr),
-			Core:       uint8(acc.Core),
+			Core:       uint8(acc.Core.Int()),
 			Prefetch:   acc.IsPrefetch(),
 		})
 	}
@@ -331,7 +331,7 @@ func (a *Agent) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 // Victim call for this access.
 //
 //chromevet:hot
-func (a *Agent) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
+func (a *Agent) OnFill(set mem.SetIdx, way int, _ []cache.Block, _ mem.Access) {
 	if a.pendingValid {
 		a.epv[set][way] = a.pendingEPV
 		a.pendingValid = false
@@ -343,6 +343,6 @@ func (a *Agent) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
 // OnEvict implements cache.Policy.
 //
 //chromevet:hot
-func (a *Agent) OnEvict(set, way int, _ []cache.Block) {
+func (a *Agent) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	a.epv[set][way] = 2
 }

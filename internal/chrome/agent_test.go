@@ -44,7 +44,7 @@ func TestAgentLearnsToBypassStream(t *testing.T) {
 	// final window only (the start of the run is the learning curve).
 	var before AgentStats
 	for i := 0; i < 60000; i++ {
-		c.Access(mem.Access{PC: 0x10, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 0x10, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 		if i == 40000 {
 			before = ag.Stats()
 		}
@@ -64,8 +64,8 @@ func TestAgentLearnsToCacheHotSet(t *testing.T) {
 	// Hot set with short reuse distance mixed with a stream.
 	for i := 0; i < 60000; i++ {
 		hot := mem.Addr((i % 32) * 64)
-		c.Access(mem.Access{PC: 0x20, Addr: hot, Type: mem.Load, Cycle: uint64(2 * i)})
-		c.Access(mem.Access{PC: 0x30, Addr: mem.Addr(1<<20 + i*64), Type: mem.Load, Cycle: uint64(2*i + 1)})
+		c.Access(mem.Access{PC: 0x20, Addr: hot, Type: mem.Load, Cycle: mem.CycleOf(uint64(2 * i))})
+		c.Access(mem.Access{PC: 0x30, Addr: mem.Addr(1<<20 + i*64), Type: mem.Load, Cycle: mem.CycleOf(uint64(2*i + 1))})
 	}
 	st := c.Stats()
 	// The hot accesses must mostly hit (the agent retains them).
@@ -88,7 +88,7 @@ func TestAgentActionsAreLegal(t *testing.T) {
 		if i%3 == 0 {
 			typ = mem.Prefetch
 		}
-		c.Access(mem.Access{PC: uint64(i % 5), Addr: addr, Type: typ, Core: i % 2, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: mem.PCOf(uint64(i % 5)), Addr: addr, Type: typ, Core: mem.CoreIDOf(i % 2), Cycle: mem.CycleOf(uint64(i))})
 	}
 	// Reaching here without the cache panicking on an invalid victim way is
 	// the assertion; also check EPVs are in range.
@@ -121,7 +121,7 @@ func TestNRRewardDirections(t *testing.T) {
 func TestNRRewardObstruction(t *testing.T) {
 	cfg := testConfig()
 	a := New(cfg, 16, 2)
-	a.Obstructed = func(int) bool { return true }
+	a.Obstructed = func(mem.CoreID) bool { return true }
 	r := cfg.Rewards
 	if got := a.nrReward(EQEntry{Action: ActionBypass}); got != r.ACNROb {
 		t.Fatalf("obstructed accurate NR reward = %d, want %d", got, r.ACNROb)
@@ -131,7 +131,7 @@ func TestNRRewardObstruction(t *testing.T) {
 	}
 	// N-CHROME ignores obstruction entirely.
 	n := New(NCHROMEConfig(), 16, 2)
-	n.Obstructed = func(int) bool { return true }
+	n.Obstructed = func(mem.CoreID) bool { return true }
 	if got := n.nrReward(EQEntry{Action: ActionBypass}); got != r.ACNRNob {
 		t.Fatalf("N-CHROME must use the non-obstructed reward, got %d", got)
 	}
@@ -167,7 +167,7 @@ func TestExplorationRate(t *testing.T) {
 	cfg.Epsilon = 0.5
 	ag, c := newTestAgent(t, cfg, 8, 2)
 	for i := 0; i < 10000; i++ {
-		c.Access(mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 	st := ag.Stats()
 	frac := float64(st.Explorations) / float64(st.Decisions)
@@ -183,7 +183,7 @@ func TestAgentDeterminism(t *testing.T) {
 		ag, c := newTestAgent(t, cfg, 16, 2)
 		for i := 0; i < 20000; i++ {
 			addr := mem.Addr(mem.Mix64(uint64(i)) % (1 << 22) &^ 63)
-			c.Access(mem.Access{PC: uint64(i % 7), Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+			c.Access(mem.Access{PC: mem.PCOf(uint64(i % 7)), Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 		}
 		return ag.Stats()
 	}
@@ -215,7 +215,7 @@ func TestUPKSA(t *testing.T) {
 	cfg := testConfig()
 	ag, c := newTestAgent(t, cfg, 16, 2)
 	for i := 0; i < 30000; i++ {
-		c.Access(mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 	upksa := ag.UPKSA()
 	if upksa <= 0 || upksa > 1000 {
@@ -243,7 +243,7 @@ func TestActionSpaceFullyExercised(t *testing.T) {
 		if i%5 == 0 {
 			typ = mem.Prefetch
 		}
-		c.Access(mem.Access{PC: uint64(i % 6), Addr: addr, Type: typ, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: mem.PCOf(uint64(i % 6)), Addr: addr, Type: typ, Cycle: mem.CycleOf(uint64(i))})
 	}
 	st := ag.Stats()
 	for a := 0; a < NumActions; a++ {

@@ -17,7 +17,7 @@ func trainAgent(t *testing.T, cfg Config, n int) *Agent {
 		if i%2 == 0 {
 			addr = mem.Addr(1<<22 + i*64)
 		}
-		c.Access(mem.Access{PC: uint64(i % 4), Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: mem.PCOf(uint64(i % 4)), Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 	return a
 }

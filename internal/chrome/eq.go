@@ -32,7 +32,7 @@ type EQEntry struct {
 //
 //chromevet:hot
 func HashAddr(a mem.Addr) uint16 {
-	return uint16(mem.FoldHash(a.BlockNumber(), 16))
+	return uint16(mem.FoldHash(a.Block().Uint64(), 16))
 }
 
 // EQ is the Evaluation Queue: one bounded FIFO per sampled set (64 queues

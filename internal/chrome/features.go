@@ -90,7 +90,7 @@ type featureContext struct {
 	lastBlock uint64
 	hasLast   bool
 	lastDelta int64
-	pcHist    [historyDepth]uint64
+	pcHist    [historyDepth]mem.PC
 	deltaHist [historyDepth]int64
 }
 
@@ -98,8 +98,8 @@ type featureContext struct {
 // this access relative to the previous one (0 on the first access).
 //
 //chromevet:hot
-func (fc *featureContext) observe(pc uint64, addr mem.Addr) int64 {
-	blk := addr.BlockNumber()
+func (fc *featureContext) observe(pc mem.PC, addr mem.Addr) int64 {
+	blk := addr.Block().Uint64()
 	var delta int64
 	if fc.hasLast {
 		delta = int64(blk) - int64(fc.lastBlock)
@@ -118,7 +118,7 @@ func (fc *featureContext) observe(pc uint64, addr mem.Addr) int64 {
 func (fc *featureContext) pcHistHash() uint64 {
 	var h uint64
 	for i, pc := range fc.pcHist {
-		h = mem.HashCombine(h, pc+uint64(i))
+		h = mem.HashCombine(h, pc.Uint64()+uint64(i))
 	}
 	return h
 }
@@ -157,14 +157,14 @@ func newExtractor(kinds []FeatureKind, cores int) *extractor {
 //
 //chromevet:hot
 func pcBase(acc mem.Access, hit bool) uint64 {
-	x := acc.PC
+	x := acc.PC.Uint64()
 	if hit {
 		x ^= 0x517C_C1B7_2722_0A95
 	}
 	if acc.IsPrefetch() {
 		x ^= 0xABCD_EF01_2345_6789
 	}
-	x ^= uint64(acc.Core) << 56
+	x ^= acc.Core.Uint64() << 56
 	return x
 }
 
@@ -174,7 +174,7 @@ func pcBase(acc mem.Access, hit bool) uint64 {
 //chromevet:hot
 func (e *extractor) state(acc mem.Access, hit bool) State {
 	core := acc.Core
-	if core < 0 || core >= len(e.ctx) {
+	if core.Int() < 0 || core.Int() >= len(e.ctx) {
 		core = 0
 	}
 	fc := &e.ctx[core]
@@ -191,7 +191,7 @@ func (e *extractor) state(acc mem.Access, hit bool) State {
 		case FeatPCHistory:
 			v = fc.pcHistHash()
 		case FeatAddress:
-			v = acc.Addr.BlockNumber()
+			v = acc.Addr.Block().Uint64()
 		case FeatDelta:
 			v = uint64(delta)
 		case FeatDeltaHistory:

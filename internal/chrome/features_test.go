@@ -109,7 +109,7 @@ func TestAgentWithExplicitFeatureSelection(t *testing.T) {
 	cfg.StateFeatures = []FeatureKind{FeatPCDelta, FeatPageOffset, FeatPCHistory}
 	a, c := newTestAgent(t, cfg, 16, 2)
 	for i := 0; i < 20000; i++ {
-		c.Access(mem.Access{PC: uint64(i % 3), Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: mem.PCOf(uint64(i % 3)), Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 	if a.QTable().Updates() == 0 {
 		t.Fatal("3-feature agent performed no updates")

@@ -51,7 +51,7 @@ func TestInaccuracyRewardOnBypassedReuse(t *testing.T) {
 	for i := 0; i < 200000 && bypassed == 0; i++ {
 		addr := mem.Addr((i + 1) * 64)
 		before := ag.Stats().Bypasses
-		c.Access(mem.Access{PC: 0x20, Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 0x20, Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 		if ag.Stats().Bypasses > before {
 			bypassed = addr
 		}
@@ -96,10 +96,10 @@ func TestNChromeIgnoresObstruction(t *testing.T) {
 		cfg.SampledSets = 1 << 16
 		cfg.Alpha = 0.2
 		a := New(cfg, 8, 2)
-		a.Obstructed = func(int) bool { return obstructed }
+		a.Obstructed = func(mem.CoreID) bool { return obstructed }
 		c := cache.New(cache.Config{Name: "LLC", Sets: 8, Ways: 2}, a)
 		for i := 0; i < 30000; i++ {
-			c.Access(mem.Access{PC: uint64(i % 3), Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+			c.Access(mem.Access{PC: mem.PCOf(uint64(i % 3)), Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 		}
 		return a.Stats()
 	}
@@ -117,10 +117,10 @@ func TestChromeRespondsToObstruction(t *testing.T) {
 		cfg := testConfig()
 		cfg.Epsilon = 0.001
 		a := New(cfg, 8, 2)
-		a.Obstructed = func(int) bool { return obstructed }
+		a.Obstructed = func(mem.CoreID) bool { return obstructed }
 		c := cache.New(cache.Config{Name: "LLC", Sets: 8, Ways: 2}, a)
 		for i := 0; i < 30000; i++ {
-			c.Access(mem.Access{PC: uint64(i % 3), Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+			c.Access(mem.Access{PC: mem.PCOf(uint64(i % 3)), Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 		}
 		return a
 	}
@@ -128,7 +128,7 @@ func TestChromeRespondsToObstruction(t *testing.T) {
 	// Probe the stream's miss state for each PC: the bypass action's
 	// converged Q tracks R_AC-NR, which differs across the two runs.
 	differs := false
-	for pc := uint64(0); pc < 3; pc++ {
+	for pc := mem.PC(0); pc < 3; pc++ {
 		acc := mem.Access{PC: pc, Addr: 0x1000, Type: mem.Load}
 		st := NewState(mem.Mix64(pcBase(acc, false)), acc.Addr.PageNumber())
 		if nob.QTable().Q(st, ActionBypass) != ob.QTable().Q(st, ActionBypass) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"chrome/internal/cache"
+	"chrome/internal/mem"
 )
 
 var _ cache.InvariantChecker = (*Agent)(nil)
@@ -17,7 +18,7 @@ const maxEPV = 2
 
 // CheckSetInvariants implements cache.InvariantChecker: every line's EPV
 // stays within [0, maxEPV].
-func (a *Agent) CheckSetInvariants(set int) error {
+func (a *Agent) CheckSetInvariants(set mem.SetIdx) error {
 	for w, v := range a.epv[set] {
 		if v > maxEPV {
 			return fmt.Errorf("way %d EPV %d exceeds max %d", w, v, maxEPV)

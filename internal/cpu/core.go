@@ -7,12 +7,13 @@
 package cpu
 
 import (
+	"chrome/internal/mem"
 	"chrome/internal/trace"
 )
 
 // MemFunc performs a memory access against the hierarchy at the given
 // issue cycle and returns its load-to-use latency in cycles.
-type MemFunc func(core int, rec trace.Record, cycle uint64) uint64
+type MemFunc func(core mem.CoreID, rec trace.Record, cycle mem.Cycle) mem.Cycle
 
 // Config parameterizes a core.
 type Config struct {
@@ -27,7 +28,7 @@ func DefaultConfig() Config { return Config{Width: 6, ROB: 512} }
 
 // Core executes one trace deterministically against a memory hierarchy.
 type Core struct {
-	id  int
+	id  mem.CoreID
 	cfg Config
 	gen trace.Generator
 	mem MemFunc
@@ -35,26 +36,27 @@ type Core struct {
 	// retireRing[i % ROB] holds the retire cycle of instruction i; since
 	// commit is in order, slot i%ROB still holds instruction i-ROB's
 	// retire cycle when instruction i issues, giving the ROB-full stall.
-	retireRing []uint64
-	pos        uint64 // instructions issued so far
-	lastRetire uint64
-	lastLoad   uint64 // completion cycle of the most recent load
+	retireRing []mem.Cycle
+	robLen     mem.Instr // len(retireRing), pre-converted for the hot path
+	pos        mem.Instr // instructions issued so far
+	lastRetire mem.Cycle
+	lastLoad   mem.Cycle // completion cycle of the most recent load
 
-	curCycle uint64 // issue frontier
-	issued   int    // instructions issued in curCycle
+	curCycle mem.Cycle // issue frontier
+	issued   int       // instructions issued in curCycle
 
-	instrRetired uint64
+	instrRetired mem.Instr
 	memAccesses  uint64
 	loadCount    uint64
-	loadLatSum   uint64
+	loadLatSum   mem.Cycle
 
 	// measurement window bookkeeping
-	winStartInstr uint64
-	winStartCycle uint64
+	winStartInstr mem.Instr
+	winStartCycle mem.Cycle
 }
 
 // New builds a core over the given trace generator and memory callback.
-func New(id int, cfg Config, gen trace.Generator, memFn MemFunc) *Core { //chromevet:allow aliasshare -- ownership transfer: sim.New hands each core its own generator
+func New(id mem.CoreID, cfg Config, gen trace.Generator, memFn MemFunc) *Core { //chromevet:allow aliasshare -- ownership transfer: sim.New hands each core its own generator
 	if cfg.Width <= 0 || cfg.ROB <= 0 {
 		panic("cpu: width and ROB must be positive")
 	}
@@ -63,21 +65,22 @@ func New(id int, cfg Config, gen trace.Generator, memFn MemFunc) *Core { //chrom
 		cfg:        cfg,
 		gen:        gen,
 		mem:        memFn,
-		retireRing: make([]uint64, cfg.ROB),
+		retireRing: make([]mem.Cycle, cfg.ROB),
+		robLen:     mem.InstrOf(uint64(cfg.ROB)),
 	}
 }
 
 // ID returns the core index.
-func (c *Core) ID() int { return c.id }
+func (c *Core) ID() mem.CoreID { return c.id }
 
 // Cycle returns the core's issue-frontier cycle (its scheduling time).
-func (c *Core) Cycle() uint64 { return c.curCycle }
+func (c *Core) Cycle() mem.Cycle { return c.curCycle }
 
 // RetireCycle returns the retire cycle of the last retired instruction.
-func (c *Core) RetireCycle() uint64 { return c.lastRetire }
+func (c *Core) RetireCycle() mem.Cycle { return c.lastRetire }
 
 // Instructions returns the number of retired instructions.
-func (c *Core) Instructions() uint64 { return c.instrRetired }
+func (c *Core) Instructions() mem.Instr { return c.instrRetired }
 
 // MemAccesses returns the number of memory instructions executed.
 func (c *Core) MemAccesses() uint64 { return c.memAccesses }
@@ -86,9 +89,9 @@ func (c *Core) MemAccesses() uint64 { return c.memAccesses }
 // bandwidth, ROB occupancy, and (for dependent loads) the previous load.
 //
 //chromevet:hot
-func (c *Core) issueSlot(minCycle uint64) uint64 {
-	if c.pos >= uint64(c.cfg.ROB) {
-		if r := c.retireRing[c.pos%uint64(c.cfg.ROB)]; r > minCycle {
+func (c *Core) issueSlot(minCycle mem.Cycle) mem.Cycle {
+	if c.pos >= c.robLen {
+		if r := c.retireRing[c.pos%c.robLen]; r > minCycle {
 			minCycle = r
 		}
 	}
@@ -106,12 +109,12 @@ func (c *Core) issueSlot(minCycle uint64) uint64 {
 // completeOne books an instruction's completion and in-order retirement.
 //
 //chromevet:hot
-func (c *Core) completeOne(complete uint64) {
+func (c *Core) completeOne(complete mem.Cycle) {
 	retire := complete
 	if c.lastRetire > retire {
 		retire = c.lastRetire
 	}
-	c.retireRing[c.pos%uint64(c.cfg.ROB)] = retire
+	c.retireRing[c.pos%c.robLen] = retire
 	c.lastRetire = retire
 	c.pos++
 	c.instrRetired++
@@ -127,7 +130,7 @@ func (c *Core) Step() {
 		issue := c.issueSlot(0)
 		c.completeOne(issue + 1)
 	}
-	var minCycle uint64
+	var minCycle mem.Cycle
 	if rec.Dependent && c.lastLoad > 0 {
 		minCycle = c.lastLoad
 	}
@@ -155,10 +158,10 @@ func (c *Core) BeginWindow() {
 }
 
 // WindowInstructions returns instructions retired since BeginWindow.
-func (c *Core) WindowInstructions() uint64 { return c.instrRetired - c.winStartInstr }
+func (c *Core) WindowInstructions() mem.Instr { return c.instrRetired - c.winStartInstr }
 
 // WindowCycles returns cycles elapsed since BeginWindow.
-func (c *Core) WindowCycles() uint64 {
+func (c *Core) WindowCycles() mem.Cycle {
 	if c.lastRetire <= c.winStartCycle {
 		return 0
 	}
@@ -171,7 +174,7 @@ func (c *Core) AvgLoadLatency() float64 {
 	if c.loadCount == 0 {
 		return 0
 	}
-	return float64(c.loadLatSum) / float64(c.loadCount)
+	return float64(c.loadLatSum.Uint64()) / float64(c.loadCount)
 }
 
 // IPC returns instructions per cycle over the measurement window.
@@ -180,5 +183,5 @@ func (c *Core) IPC() float64 {
 	if cyc == 0 {
 		return 0
 	}
-	return float64(c.WindowInstructions()) / float64(cyc)
+	return float64(c.WindowInstructions().Uint64()) / float64(cyc.Uint64())
 }

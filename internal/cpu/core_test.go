@@ -3,6 +3,7 @@ package cpu
 import (
 	"testing"
 
+	"chrome/internal/mem"
 	"chrome/internal/trace"
 )
 
@@ -21,8 +22,8 @@ func (s *scripted) Reset()       { s.i = 0 }
 func (s *scripted) Name() string { return "scripted" }
 
 // fixedMem returns a constant latency for every access.
-func fixedMem(lat uint64) MemFunc {
-	return func(int, trace.Record, uint64) uint64 { return lat }
+func fixedMem(lat mem.Cycle) MemFunc {
+	return func(mem.CoreID, trace.Record, mem.Cycle) mem.Cycle { return lat }
 }
 
 func TestBandwidthBound(t *testing.T) {
@@ -101,9 +102,9 @@ func TestStoresDoNotStallCommit(t *testing.T) {
 }
 
 func TestMemFuncSeesIssueCycles(t *testing.T) {
-	var cycles []uint64
+	var cycles []mem.Cycle
 	gen := &scripted{recs: []trace.Record{{PC: 1, Addr: 0, Gap: 2}}}
-	c := New(0, Config{Width: 1, ROB: 64}, gen, func(_ int, _ trace.Record, cycle uint64) uint64 {
+	c := New(0, Config{Width: 1, ROB: 64}, gen, func(_ mem.CoreID, _ trace.Record, cycle mem.Cycle) mem.Cycle {
 		cycles = append(cycles, cycle)
 		return 1
 	})

@@ -11,6 +11,7 @@ import (
 
 	"chrome/internal/cache"
 	"chrome/internal/chrome"
+	"chrome/internal/mem"
 	"chrome/internal/metrics"
 	"chrome/internal/policy"
 	"chrome/internal/prefetch"
@@ -24,7 +25,7 @@ import (
 // down while preserving warmup:measure proportions.
 type Scale struct {
 	// Warmup and Measure are per-core instruction budgets.
-	Warmup, Measure uint64
+	Warmup, Measure mem.Instr
 	// Profiles bounds how many profiles per suite the per-workload figures
 	// sweep (0 = all).
 	Profiles int
@@ -47,7 +48,7 @@ type Scale struct {
 
 // budget is the per-core instruction window a recording must cover for a
 // run at this scale.
-func (sc Scale) budget() uint64 { return sc.Warmup + sc.Measure }
+func (sc Scale) budget() mem.Instr { return sc.Warmup + sc.Measure }
 
 // homoGens builds the per-core generators of a homogeneous mix, shared
 // frozen recordings unless NoReplay.
@@ -149,35 +150,35 @@ type Scheme struct {
 
 // LRUScheme returns the LRU baseline.
 func LRUScheme() Scheme {
-	return Scheme{Name: "LRU", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "LRU", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewLRU()
 	}}
 }
 
 // HawkeyeScheme returns the Hawkeye comparison scheme.
 func HawkeyeScheme() Scheme {
-	return Scheme{Name: "Hawkeye", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "Hawkeye", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewHawkeye(sets, ways, scaledSampledSets)
 	}}
 }
 
 // GliderScheme returns the Glider comparison scheme.
 func GliderScheme() Scheme {
-	return Scheme{Name: "Glider", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "Glider", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewGlider(sets, ways, cores, scaledSampledSets)
 	}}
 }
 
 // MockingjayScheme returns the Mockingjay comparison scheme.
 func MockingjayScheme() Scheme {
-	return Scheme{Name: "Mockingjay", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "Mockingjay", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewMockingjay(sets, ways, scaledSampledSets)
 	}}
 }
 
 // CAREScheme returns the CARE comparison scheme.
 func CAREScheme() Scheme {
-	return Scheme{Name: "CARE", Factory: func(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+	return Scheme{Name: "CARE", Factory: func(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
 		c := policy.NewCARE(sets, ways, scaledSampledSets)
 		c.Obstructed = obstructed
 		return c
@@ -186,7 +187,7 @@ func CAREScheme() Scheme {
 
 // DRRIPScheme returns the DRRIP extension baseline.
 func DRRIPScheme() Scheme {
-	return Scheme{Name: "DRRIP", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "DRRIP", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewDRRIP(sets, ways)
 	}}
 }
@@ -195,21 +196,21 @@ func DRRIPScheme() Scheme {
 // against; exposing it directly lets sweeps separate the static policy
 // from the duelling machinery.
 func SRRIPScheme() Scheme {
-	return Scheme{Name: "SRRIP", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "SRRIP", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewSRRIP(sets, ways)
 	}}
 }
 
 // PACManScheme returns the PACMan extension scheme (paper §VIII).
 func PACManScheme() Scheme {
-	return Scheme{Name: "PACMan", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "PACMan", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewPACMan(sets, ways)
 	}}
 }
 
 // SHiPPPScheme returns the SHiP++ extension scheme.
 func SHiPPPScheme() Scheme {
-	return Scheme{Name: "SHiP++", Factory: func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	return Scheme{Name: "SHiP++", Factory: func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewSHiPPP(sets, ways, scaledSampledSets)
 	}}
 }
@@ -236,7 +237,7 @@ func CHROMEScheme(cfg chrome.Config) Scheme {
 	if !cfg.ConcurrencyAware {
 		name = "N-CHROME"
 	}
-	return Scheme{Name: name, Factory: func(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+	return Scheme{Name: name, Factory: func(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
 		a := chrome.New(cfg, sets, ways)
 		a.Obstructed = obstructed
 		return a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chrome/internal/chrome"
+	"chrome/internal/mem"
 	"chrome/internal/metrics"
 	"chrome/internal/workload"
 )
@@ -73,9 +74,9 @@ func FeatureStudy(sc Scale) []Report {
 func LearningCurve(sc Scale) []Report {
 	profiles := []string{"gcc", "xalancbmk", "pr-tw"}
 	pf := PFDefault()
-	budgets := []uint64{50_000, 120_000, 250_000, 500_000}
+	budgets := []mem.Instr{50_000, 120_000, 250_000, 500_000}
 	if sc.Measure < 500_000 {
-		budgets = []uint64{30_000, 80_000, 160_000}
+		budgets = []mem.Instr{30_000, 80_000, 160_000}
 	}
 
 	var valid []workload.Profile
@@ -119,7 +120,7 @@ func LearningCurve(sc Scale) []Report {
 	return []Report{rep}
 }
 
-func budgetLabels(budgets []uint64) []string {
+func budgetLabels(budgets []mem.Instr) []string {
 	out := make([]string, len(budgets))
 	for i, b := range budgets {
 		out[i] = fmt.Sprintf("%dK instr", b/1000)

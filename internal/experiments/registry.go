@@ -6,6 +6,7 @@ import (
 
 	"chrome/internal/cache"
 	"chrome/internal/chrome"
+	"chrome/internal/mem"
 	"chrome/internal/sim"
 	"chrome/internal/trace"
 	"chrome/internal/workload"
@@ -15,7 +16,7 @@ import (
 // returns the agent's UPKSA (Table VII metric).
 func runMixWithAgent(gens []trace.Generator, cores int, ccfg chrome.Config, pf PrefetchConfig, sc Scale) (sim.Result, float64) {
 	var ag *chrome.Agent
-	scheme := Scheme{Name: "CHROME", Factory: func(sets, ways, c int, obstructed func(int) bool) cache.Policy {
+	scheme := Scheme{Name: "CHROME", Factory: func(sets, ways, c int, obstructed func(mem.CoreID) bool) cache.Policy {
 		ag = chrome.New(ccfg, sets, ways)
 		ag.Obstructed = obstructed
 		return ag

@@ -5,7 +5,7 @@ import (
 	"testing/quick"
 )
 
-func TestBlockAddr(t *testing.T) {
+func TestBlockAligned(t *testing.T) {
 	cases := []struct {
 		in, want Addr
 	}{
@@ -18,8 +18,8 @@ func TestBlockAddr(t *testing.T) {
 		{4096, 4096},
 	}
 	for _, c := range cases {
-		if got := c.in.BlockAddr(); got != c.want {
-			t.Errorf("BlockAddr(%d) = %d, want %d", c.in, got, c.want)
+		if got := c.in.BlockAligned(); got != c.want {
+			t.Errorf("BlockAligned(%d) = %d, want %d", c.in, got, c.want)
 		}
 	}
 }
@@ -32,15 +32,15 @@ func TestPageArithmetic(t *testing.T) {
 	if got := a.PageOffset(); got != 0x345 {
 		t.Errorf("PageOffset = %#x, want 0x345", got)
 	}
-	if got := a.BlockNumber(); got != 0x12345>>6 {
-		t.Errorf("BlockNumber = %#x, want %#x", got, 0x12345>>6)
+	if got := a.Block(); got.Uint64() != 0x12345>>6 {
+		t.Errorf("Block = %#x, want %#x", got.Uint64(), 0x12345>>6)
 	}
 }
 
-func TestBlockAddrProperties(t *testing.T) {
+func TestBlockAlignedProperties(t *testing.T) {
 	f := func(a uint64) bool {
 		addr := Addr(a)
-		b := addr.BlockAddr()
+		b := addr.BlockAligned()
 		return b%BlockSize == 0 && b <= addr && addr-b < BlockSize
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -51,10 +51,150 @@ func TestBlockAddrProperties(t *testing.T) {
 func TestPageDecompositionProperty(t *testing.T) {
 	f := func(a uint64) bool {
 		addr := Addr(a)
-		return addr.PageNumber()*PageSize+addr.PageOffset() == uint64(addr)
+		return addr.PageNumber()*PageSize+addr.PageOffset() == addr.Uint64()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAddrBlockRoundTrip pins the two blessed conversions between byte
+// addresses and block numbers: Addr.Block drops the offset, BlockAddr.Addr
+// restores the block base.
+func TestAddrBlockRoundTrip(t *testing.T) {
+	cases := []struct {
+		addr     Addr
+		block    BlockAddr
+		blockOff uint64 // addr - block base
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 1, 0},
+		{0x12345, 0x48D, 5},
+		{^Addr(0), BlockAddr(^uint64(0) >> BlockShift), 63},
+	}
+	for _, c := range cases {
+		if got := c.addr.Block(); got != c.block {
+			t.Errorf("Addr(%#x).Block() = %#x, want %#x", c.addr.Uint64(), got.Uint64(), c.block.Uint64())
+		}
+		base := c.addr.Block().Addr()
+		if base != c.addr.BlockAligned() {
+			t.Errorf("Addr(%#x).Block().Addr() = %#x, want block base %#x",
+				c.addr.Uint64(), base.Uint64(), c.addr.BlockAligned().Uint64())
+		}
+		if off := c.addr.Delta(base); off != int64(c.blockOff) {
+			t.Errorf("Addr(%#x) offset within block = %d, want %d", c.addr.Uint64(), off, c.blockOff)
+		}
+	}
+	f := func(x uint64) bool {
+		a := AddrOf(x)
+		// Block().Addr() truncates to the block base and is idempotent.
+		return a.Block().Addr() == a.BlockAligned() &&
+			a.Block().Addr().Block() == a.Block()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlockAddrSet pins set extraction at the Table V LLC geometries (4096
+// sets/core for the paper config, 512 sets/core scaled) and the L1/L2
+// geometries.
+func TestBlockAddrSet(t *testing.T) {
+	geometries := []struct {
+		name string
+		sets int
+	}{
+		{"L1 (64 sets)", 64},
+		{"L2 (1024 sets)", 1024},
+		{"LLC paper 4-core (16384 sets)", 4096 * 4},
+		{"LLC scaled 4-core (2048 sets)", 512 * 4},
+	}
+	for _, g := range geometries {
+		mask := uint64(g.sets - 1)
+		for _, blk := range []uint64{0, 1, uint64(g.sets - 1), uint64(g.sets), 0xDEADBEEF} {
+			got := BlockAddrOf(blk).Set(mask)
+			want := int(blk & mask)
+			if got.Int() != want {
+				t.Errorf("%s: BlockAddr(%#x).Set(%#x) = %d, want %d", g.name, blk, mask, got.Int(), want)
+			}
+			if got.Int() < 0 || got.Int() >= g.sets {
+				t.Errorf("%s: set index %d out of range [0,%d)", g.name, got.Int(), g.sets)
+			}
+		}
+	}
+}
+
+func TestPlusAndDelta(t *testing.T) {
+	a := AddrOf(0x1000)
+	if got := a.Plus(0x40); got != AddrOf(0x1040) {
+		t.Errorf("Plus(0x40) = %#x, want 0x1040", got.Uint64())
+	}
+	if got := a.Plus(0x40).Delta(a); got != 0x40 {
+		t.Errorf("Delta = %d, want 64", got)
+	}
+	if got := a.Delta(a.Plus(0x40)); got != -0x40 {
+		t.Errorf("negative Delta = %d, want -64", got)
+	}
+}
+
+func TestPlusBlocks(t *testing.T) {
+	b := BlockAddrOf(100)
+	if got := b.PlusBlocks(5); got != BlockAddrOf(105) {
+		t.Errorf("PlusBlocks(5) = %d, want 105", got.Uint64())
+	}
+	if got := b.PlusBlocks(-5); got != BlockAddrOf(95) {
+		t.Errorf("PlusBlocks(-5) = %d, want 95", got.Uint64())
+	}
+}
+
+// TestConstructorAccessorRoundTrips covers every XxxOf constructor against
+// its raw accessor.
+func TestConstructorAccessorRoundTrips(t *testing.T) {
+	for _, x := range []uint64{0, 1, 63, 64, 1 << 40, ^uint64(0)} {
+		if AddrOf(x).Uint64() != x {
+			t.Errorf("AddrOf(%d).Uint64() != %d", x, x)
+		}
+		if BlockAddrOf(x).Uint64() != x {
+			t.Errorf("BlockAddrOf(%d).Uint64() != %d", x, x)
+		}
+		if PCOf(x).Uint64() != x {
+			t.Errorf("PCOf(%d).Uint64() != %d", x, x)
+		}
+		if CycleOf(x).Uint64() != x {
+			t.Errorf("CycleOf(%d).Uint64() != %d", x, x)
+		}
+		if InstrOf(x).Uint64() != x {
+			t.Errorf("InstrOf(%d).Uint64() != %d", x, x)
+		}
+	}
+	for _, n := range []int{0, 1, 63, 1 << 20} {
+		if SetIdxOf(n).Int() != n || SetIdxOf(n).Uint64() != uint64(n) {
+			t.Errorf("SetIdxOf(%d) accessors disagree", n)
+		}
+		if CoreIDOf(n).Int() != n || CoreIDOf(n).Uint64() != uint64(n) {
+			t.Errorf("CoreIDOf(%d) accessors disagree", n)
+		}
+	}
+}
+
+func TestCycleDiv(t *testing.T) {
+	cases := []struct {
+		c, per Cycle
+		want   uint64
+	}{
+		{0, 100_000, 0},
+		{99_999, 100_000, 0},
+		{100_000, 100_000, 1},
+		{250_000, 100_000, 2},
+		{255, 256, 0},
+		{256, 256, 1},
+	}
+	for _, c := range cases {
+		if got := c.c.Div(c.per); got != c.want {
+			t.Errorf("Cycle(%d).Div(%d) = %d, want %d", c.c.Uint64(), c.per.Uint64(), got, c.want)
+		}
 	}
 }
 

@@ -15,12 +15,12 @@ import (
 type CARE struct {
 	// Obstructed reports whether a core is currently LLC-obstructed; wired
 	// to the camat.Monitor by the simulator. Nil means never obstructed.
-	Obstructed func(core int) bool
+	Obstructed func(core mem.CoreID) bool
 
 	sampler Sampler
-	shct    []uint8 // 3-bit saturating reuse counters per signature
-	maxRRPV uint8
-	rrpv    [][]uint8
+	shct    []uint8   //chromevet:width 3 -- saturating reuse counters per signature
+	maxRRPV uint8     //chromevet:width 2
+	rrpv    [][]uint8 //chromevet:width 2
 	// lineSig remembers the fill signature for detraining on unused
 	// eviction (only maintained in sampled sets).
 	lineSig   [][]uint64
@@ -48,7 +48,7 @@ func NewCARE(sets, ways, sampled int) *CARE {
 		c.rrpv[s] = make([]uint8, ways)
 		c.lineSig[s] = make([]uint64, ways)
 		c.lineReref[s] = make([]bool, ways)
-		c.sampled[s] = c.sampler.Index(s) >= 0
+		c.sampled[s] = c.sampler.Index(mem.SetIdxOf(s)) >= 0
 	}
 	return c
 }
@@ -60,12 +60,12 @@ func (c *CARE) sig(acc mem.Access) uint64 {
 	return Signature(acc.PC, acc.IsPrefetch(), acc.Core, careTableBits)
 }
 
-func (c *CARE) obstructed(core int) bool {
+func (c *CARE) obstructed(core mem.CoreID) bool {
 	return c.Obstructed != nil && c.Obstructed(core)
 }
 
 // Victim implements cache.Policy (SRRIP-style scan with aging).
-func (c *CARE) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) {
+func (c *CARE) Victim(set mem.SetIdx, blocks []cache.Block, _ mem.Access) (int, bool) {
 	if w := invalidWay(blocks); w >= 0 {
 		return w, false
 	}
@@ -77,6 +77,7 @@ func (c *CARE) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) {
 			}
 		}
 		for w := range r {
+			//chromevet:allow hwwidth -- the scan above returned if any way was at maxRRPV, so every way is below the ceiling and the increment saturates in width
 			r[w]++
 		}
 	}
@@ -84,7 +85,7 @@ func (c *CARE) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) {
 
 // OnHit implements cache.Policy: promote, less aggressively for obstructed
 // cores; train the signature on the first re-reference in sampled sets.
-func (c *CARE) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+func (c *CARE) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	if c.sampled[set] && !c.lineReref[set][way] {
 		c.lineReref[set][way] = true
 		s := c.lineSig[set][way]
@@ -101,7 +102,7 @@ func (c *CARE) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 
 // OnFill implements cache.Policy: insertion priority from the signature's
 // reuse counter, demoted by one level for obstructed cores.
-func (c *CARE) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
+func (c *CARE) OnFill(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	s := c.sig(acc)
 	var r uint8
 	if c.shct[s] >= 4 {
@@ -112,14 +113,14 @@ func (c *CARE) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
 	if c.obstructed(acc.Core) && r < c.maxRRPV {
 		r++
 	}
-	c.rrpv[set][way] = r
+	c.rrpv[set][way] = r //chromevet:allow hwwidth -- r is maxRRPV or maxRRPV-1, saturated below maxRRPV by the r++ guard, all within 2 bits
 	c.lineSig[set][way] = s
 	c.lineReref[set][way] = false
 }
 
 // OnEvict implements cache.Policy: detrain signatures whose lines were
 // evicted unreferenced (sampled sets only).
-func (c *CARE) OnEvict(set, way int, _ []cache.Block) {
+func (c *CARE) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	if c.sampled[set] && !c.lineReref[set][way] {
 		s := c.lineSig[set][way]
 		if c.shct[s] > 0 {

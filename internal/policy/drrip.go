@@ -11,12 +11,13 @@ import (
 // misses less in its leader sets. Included as additional baseline
 // infrastructure alongside SRRIP and PACMan.
 type DRRIP struct {
-	maxRRPV uint8
-	rrpv    [][]uint8
+	maxRRPV uint8     //chromevet:width 2
+	rrpv    [][]uint8 //chromevet:width 2
 
 	leaderS []bool
 	leaderB []bool
-	psel    int
+	// psel ranges over [0, pselMax] = [0, 1024].
+	psel    int //chromevet:width 11
 	pselMax int
 
 	// brripCtr implements BRRIP's 1-in-32 near insertion deterministically.
@@ -55,7 +56,7 @@ func NewDRRIP(sets, ways int) *DRRIP {
 func (*DRRIP) Name() string { return "DRRIP" }
 
 // useBRRIP reports whether the set inserts bimodally.
-func (d *DRRIP) useBRRIP(set int) bool {
+func (d *DRRIP) useBRRIP(set mem.SetIdx) bool {
 	switch {
 	case d.leaderS[set]:
 		return false
@@ -67,7 +68,7 @@ func (d *DRRIP) useBRRIP(set int) bool {
 }
 
 // Victim implements cache.Policy.
-func (d *DRRIP) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
+func (d *DRRIP) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (int, bool) {
 	if acc.Type.IsDemand() {
 		if d.leaderS[set] && d.psel < d.pselMax {
 			d.psel++
@@ -86,18 +87,19 @@ func (d *DRRIP) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool
 			}
 		}
 		for w := range r {
+			//chromevet:allow hwwidth -- the scan above returned if any way was at maxRRPV, so every way is below the ceiling and the increment saturates in width
 			r[w]++
 		}
 	}
 }
 
 // OnHit implements cache.Policy.
-func (d *DRRIP) OnHit(set, way int, _ []cache.Block, _ mem.Access) {
+func (d *DRRIP) OnHit(set mem.SetIdx, way int, _ []cache.Block, _ mem.Access) {
 	d.rrpv[set][way] = 0
 }
 
 // OnFill implements cache.Policy.
-func (d *DRRIP) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
+func (d *DRRIP) OnFill(set mem.SetIdx, way int, _ []cache.Block, _ mem.Access) {
 	if d.useBRRIP(set) {
 		d.brripCtr++
 		if d.brripCtr%32 == 0 {
@@ -111,6 +113,6 @@ func (d *DRRIP) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
 }
 
 // OnEvict implements cache.Policy.
-func (d *DRRIP) OnEvict(set, way int, _ []cache.Block) {
+func (d *DRRIP) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	d.rrpv[set][way] = d.maxRRPV
 }

@@ -26,8 +26,8 @@ type Glider struct {
 	// pchr is the per-core history of the last pchrDepth hashed PCs.
 	pchr [][pchrDepth]uint16
 
-	maxRRPV uint8
-	rrpv    [][]uint8
+	maxRRPV uint8     //chromevet:width 3
+	rrpv    [][]uint8 //chromevet:width 3
 	averse  [][]bool
 
 	// pendingF carries the feature snapshot from Victim to the OnFill of
@@ -74,7 +74,7 @@ func (g *Glider) pcIndex(acc mem.Access) uint64 {
 }
 
 // features returns the current weight indices for the core's PCHR.
-func (g *Glider) features(core int) [pchrDepth]uint16 {
+func (g *Glider) features(core mem.CoreID) [pchrDepth]uint16 {
 	var f [pchrDepth]uint16
 	for i, pc := range g.pchr[core] {
 		f[i] = uint16(mem.FoldHash(uint64(pc)+uint64(i)*0x1003f, 4)) // 0..15
@@ -86,7 +86,7 @@ func (g *Glider) features(core int) [pchrDepth]uint16 {
 func (g *Glider) pushPC(acc mem.Access) {
 	h := &g.pchr[acc.Core]
 	copy(h[1:], h[:pchrDepth-1])
-	h[0] = uint16(mem.FoldHash(acc.PC, 16))
+	h[0] = uint16(mem.FoldHash(acc.PC.Uint64(), 16))
 }
 
 func (g *Glider) weights(pcIdx uint64) []int16 {
@@ -108,12 +108,12 @@ func (g *Glider) score(pcIdx uint64, f [pchrDepth]uint16) int {
 
 // train adjudicates via OPTgen on sampled sets and perceptron-updates the
 // ISVM of the previous access's PC using the features captured then.
-func (g *Glider) train(set int, acc mem.Access, f [pchrDepth]uint16) {
+func (g *Glider) train(set mem.SetIdx, acc mem.Access, f [pchrDepth]uint16) {
 	si := g.sampler.Index(set)
 	if si < 0 {
 		return
 	}
-	label, prevSig, prevCtx := g.optgens[si].Access(acc.Addr.BlockNumber(), g.pcIndex(acc), f)
+	label, prevSig, prevCtx := g.optgens[si].Access(acc.Addr.Block(), g.pcIndex(acc), f)
 	if label == optNone {
 		return
 	}
@@ -146,7 +146,7 @@ func (g *Glider) predict(acc mem.Access, f [pchrDepth]uint16) (bool, bool) {
 }
 
 // observe performs the shared per-access bookkeeping (training + PCHR).
-func (g *Glider) observe(set int, acc mem.Access) [pchrDepth]uint16 {
+func (g *Glider) observe(set mem.SetIdx, acc mem.Access) [pchrDepth]uint16 {
 	f := g.features(acc.Core)
 	g.train(set, acc, f)
 	g.pushPC(acc)
@@ -155,7 +155,7 @@ func (g *Glider) observe(set int, acc mem.Access) [pchrDepth]uint16 {
 
 // Victim implements cache.Policy: evict an averse (rrpv==max) line first,
 // otherwise the max-rrpv line.
-func (g *Glider) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
+func (g *Glider) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (int, bool) {
 	f := g.observe(set, acc)
 	g.pendingF, g.pendingValid = f, true
 	if w := invalidWay(blocks); w >= 0 {
@@ -175,7 +175,7 @@ func (g *Glider) Victim(set int, blocks []cache.Block, acc mem.Access) (int, boo
 }
 
 // OnHit implements cache.Policy.
-func (g *Glider) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+func (g *Glider) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	f := g.observe(set, acc)
 	averse, confident := g.predict(acc, f)
 	g.averse[set][way] = averse
@@ -190,7 +190,7 @@ func (g *Glider) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 }
 
 // OnFill implements cache.Policy.
-func (g *Glider) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
+func (g *Glider) OnFill(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	f := g.pendingF
 	if !g.pendingValid {
 		f = g.features(acc.Core)
@@ -209,7 +209,7 @@ func (g *Glider) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
 }
 
 // OnEvict implements cache.Policy.
-func (g *Glider) OnEvict(set, way int, _ []cache.Block) {
+func (g *Glider) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	g.rrpv[set][way] = g.maxRRPV
 	g.averse[set][way] = false
 }

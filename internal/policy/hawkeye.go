@@ -13,11 +13,11 @@ import (
 type Hawkeye struct {
 	sampler  Sampler
 	optgens  []*optGen
-	counters []uint8 // 3-bit saturating, friendly when >= 4
+	counters []uint8 //chromevet:width 3 -- saturating, friendly when >= 4
 	sigBits  uint
 
-	maxRRPV uint8
-	rrpv    [][]uint8
+	maxRRPV uint8     //chromevet:width 3
+	rrpv    [][]uint8 //chromevet:width 3
 	// friendly and lineSig are per-line prediction metadata.
 	friendly [][]bool
 	lineSig  [][]uint64
@@ -60,12 +60,12 @@ func (h *Hawkeye) sig(acc mem.Access) uint64 {
 }
 
 // train runs OPTgen on a sampled set and updates the predictor.
-func (h *Hawkeye) train(set int, acc mem.Access) {
+func (h *Hawkeye) train(set mem.SetIdx, acc mem.Access) {
 	si := h.sampler.Index(set)
 	if si < 0 {
 		return
 	}
-	label, prevSig, _ := h.optgens[si].Access(acc.Addr.BlockNumber(), h.sig(acc), [pchrDepth]uint16{})
+	label, prevSig, _ := h.optgens[si].Access(acc.Addr.Block(), h.sig(acc), [pchrDepth]uint16{})
 	switch label {
 	case optHit:
 		if h.counters[prevSig] < 7 {
@@ -86,7 +86,7 @@ func (h *Hawkeye) predictFriendly(acc mem.Access) bool {
 // Victim implements cache.Policy: evict a cache-averse line (rrpv==max) if
 // one exists; otherwise evict the oldest friendly line and detrain its
 // signature (OPT would not have kept it this long).
-func (h *Hawkeye) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
+func (h *Hawkeye) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (int, bool) {
 	h.train(set, acc)
 	if w := invalidWay(blocks); w >= 0 {
 		return w, false
@@ -116,7 +116,7 @@ func (h *Hawkeye) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bo
 }
 
 // OnHit implements cache.Policy.
-func (h *Hawkeye) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+func (h *Hawkeye) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	h.train(set, acc)
 	friendly := h.predictFriendly(acc)
 	h.friendly[set][way] = friendly
@@ -129,7 +129,7 @@ func (h *Hawkeye) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 }
 
 // OnFill implements cache.Policy.
-func (h *Hawkeye) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
+func (h *Hawkeye) OnFill(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	friendly := h.predictFriendly(acc)
 	h.friendly[set][way] = friendly
 	h.lineSig[set][way] = h.sig(acc)
@@ -147,7 +147,7 @@ func (h *Hawkeye) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
 }
 
 // OnEvict implements cache.Policy.
-func (h *Hawkeye) OnEvict(set, way int, _ []cache.Block) {
+func (h *Hawkeye) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	h.friendly[set][way] = false
 	h.lineSig[set][way] = 0
 	h.rrpv[set][way] = h.maxRRPV

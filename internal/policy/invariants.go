@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"chrome/internal/cache"
+	"chrome/internal/mem"
 )
 
 var (
@@ -18,13 +19,13 @@ var (
 
 // CheckSetInvariants implements cache.InvariantChecker: every RRPV stays
 // within [0, maxRRPV].
-func (p *SRRIP) CheckSetInvariants(set int) error {
+func (p *SRRIP) CheckSetInvariants(set mem.SetIdx) error {
 	return checkRRPVBounds(p.rrpv[set], p.maxRRPV)
 }
 
 // CheckSetInvariants implements cache.InvariantChecker: RRPVs stay within
 // [0, maxRRPV] and the set-dueling counter within [0, pselMax].
-func (d *DRRIP) CheckSetInvariants(set int) error {
+func (d *DRRIP) CheckSetInvariants(set mem.SetIdx) error {
 	if d.psel < 0 || d.psel > d.pselMax {
 		return fmt.Errorf("PSEL %d outside [0, %d]", d.psel, d.pselMax)
 	}

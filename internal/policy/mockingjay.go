@@ -17,7 +17,9 @@ type Mockingjay struct {
 	// Per-sampled-set reuse-distance measurement history.
 	samples [][]mjSample
 	// rdp maps signature -> predicted reuse distance (set-access quanta).
-	rdp []uint16
+	// Predictions are clamped to maxRD = 16*ways <= 4096 for any
+	// modeled associativity (ways <= 256).
+	rdp []uint16 //chromevet:width 13
 
 	// Per-set access clock (quanta) and per-line predicted next-use time.
 	clock   []uint64
@@ -30,7 +32,7 @@ type Mockingjay struct {
 }
 
 type mjSample struct {
-	block uint64
+	block mem.BlockAddr
 	sig   uint64
 	time  uint64
 }
@@ -73,13 +75,13 @@ func (m *Mockingjay) sig(acc mem.Access) uint64 {
 // a temporal-difference step toward each new sample.
 //
 //chromevet:hot
-func (m *Mockingjay) train(set int, acc mem.Access) {
+func (m *Mockingjay) train(set mem.SetIdx, acc mem.Access) {
 	si := m.sampler.Index(set)
 	if si < 0 {
 		return
 	}
 	now := m.clock[set]
-	block := acc.Addr.BlockNumber()
+	block := acc.Addr.Block()
 	hist := m.samples[si]
 	window := uint64(8 * m.ways)
 	for i := range hist {
@@ -118,10 +120,10 @@ func (m *Mockingjay) train(set int, acc mem.Access) {
 func (m *Mockingjay) update(sig uint64, sample uint16) {
 	cur := m.rdp[sig]
 	if cur == 0 {
-		m.rdp[sig] = sample
+		m.rdp[sig] = sample //chromevet:allow hwwidth -- every caller clamps sample to maxRD <= 4096
 		return
 	}
-	m.rdp[sig] = uint16(int(cur) + (int(sample)-int(cur))/8)
+	m.rdp[sig] = uint16(int(cur) + (int(sample)-int(cur))/8) //chromevet:allow hwwidth -- the TD step lands between cur and sample, both within width
 }
 
 // predictRD returns the predicted reuse distance for the access. Unseen
@@ -139,7 +141,7 @@ func (m *Mockingjay) predictRD(acc mem.Access) uint16 {
 // use (largest estimated time remaining).
 //
 //chromevet:hot
-func (m *Mockingjay) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
+func (m *Mockingjay) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (int, bool) {
 	m.train(set, acc)
 	m.clock[set]++
 	rd := m.predictRD(acc)
@@ -164,7 +166,7 @@ func (m *Mockingjay) Victim(set int, blocks []cache.Block, acc mem.Access) (int,
 	// LRU-like behaviour instead of following prediction noise.
 	now := int64(m.clock[set])
 	const overdueBias = int64(1) << 32
-	best, bestKey, bestTouch := 0, int64(-1), ^uint64(0)
+	best, bestKey, bestTouch := 0, int64(-1), ^mem.Cycle(0)
 	var bestETR int64
 	for w := range blocks {
 		etr := int64(m.nextUse[set][w]) - now
@@ -191,7 +193,7 @@ func (m *Mockingjay) Victim(set int, blocks []cache.Block, acc mem.Access) (int,
 // OnHit implements cache.Policy.
 //
 //chromevet:hot
-func (m *Mockingjay) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+func (m *Mockingjay) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	m.train(set, acc)
 	m.clock[set]++
 	m.nextUse[set][way] = m.clock[set] + uint64(m.predictRD(acc))
@@ -200,11 +202,11 @@ func (m *Mockingjay) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 // OnFill implements cache.Policy.
 //
 //chromevet:hot
-func (m *Mockingjay) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
+func (m *Mockingjay) OnFill(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	m.nextUse[set][way] = m.clock[set] + uint64(m.predictRD(acc))
 }
 
 // OnEvict implements cache.Policy.
-func (m *Mockingjay) OnEvict(set, way int, _ []cache.Block) {
+func (m *Mockingjay) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	m.nextUse[set][way] = 0
 }

@@ -1,5 +1,7 @@
 package policy
 
+import "chrome/internal/mem"
+
 // optGen simulates Belady's OPT decision for one sampled cache set
 // (Jain & Lin, ISCA 2016). Time is quantized to one quantum per access to
 // the set. For each re-access within the usage window, OPT would have hit
@@ -16,9 +18,9 @@ type optGen struct {
 // optRef records the previous access to a block in a sampled set together
 // with the training context of that access.
 type optRef struct {
-	block uint64 // block number
-	time  uint64 // quantum of the access
-	sig   uint64 // predictor signature of the accessing instruction
+	block mem.BlockAddr // block number
+	time  uint64        // quantum of the access
+	sig   uint64        // predictor signature of the accessing instruction
 	// ctx carries policy-specific training context (Glider's ISVM weight
 	// indices); unused by Hawkeye.
 	ctx [pchrDepth]uint16
@@ -51,7 +53,7 @@ const (
 // adjudication.
 //
 //chromevet:hot
-func (g *optGen) Access(block, sig uint64, ctx [pchrDepth]uint16) (optLabel, uint64, [pchrDepth]uint16) {
+func (g *optGen) Access(block mem.BlockAddr, sig uint64, ctx [pchrDepth]uint16) (optLabel, uint64, [pchrDepth]uint16) {
 	now := g.clock
 	g.clock++
 	// The slot for the new quantum starts empty.

@@ -12,14 +12,15 @@ import (
 // and set dueling picks between treating prefetch hits as no-ops (PACMan-H)
 // and additionally demoting prefetch insertions (PACMan-M).
 type PACMan struct {
-	maxRRPV uint8
-	rrpv    [][]uint8
+	maxRRPV uint8     //chromevet:width 2
+	rrpv    [][]uint8 //chromevet:width 2
 
 	// Set dueling: a few leader sets run each variant; follower sets use
 	// the winner according to a saturating miss counter (psel).
 	leaderH []bool
 	leaderM []bool
-	psel    int
+	// psel ranges over [0, pselMax] = [0, 1024].
+	psel    int //chromevet:width 11
 	pselMax int
 }
 
@@ -55,7 +56,7 @@ func (*PACMan) Name() string { return "PACMan" }
 
 // useM reports whether the set applies the PACMan-M (demote prefetch
 // insertions further) variant.
-func (p *PACMan) useM(set int) bool {
+func (p *PACMan) useM(set mem.SetIdx) bool {
 	switch {
 	case p.leaderH[set]:
 		return false
@@ -67,7 +68,7 @@ func (p *PACMan) useM(set int) bool {
 }
 
 // Victim implements cache.Policy (SRRIP scan with aging).
-func (p *PACMan) Victim(set int, blocks []cache.Block, acc mem.Access) (int, bool) {
+func (p *PACMan) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (int, bool) {
 	// Set dueling bookkeeping: misses in leader sets move psel.
 	if acc.Type.IsDemand() {
 		if p.leaderH[set] && p.psel < p.pselMax {
@@ -87,6 +88,7 @@ func (p *PACMan) Victim(set int, blocks []cache.Block, acc mem.Access) (int, boo
 			}
 		}
 		for w := range r {
+			//chromevet:allow hwwidth -- the scan above returned if any way was at maxRRPV, so every way is below the ceiling and the increment saturates in width
 			r[w]++
 		}
 	}
@@ -95,7 +97,7 @@ func (p *PACMan) Victim(set int, blocks []cache.Block, acc mem.Access) (int, boo
 // OnHit implements cache.Policy: demand hits promote to MRU; prefetch hits
 // do not promote at all (the PACMan-H insight: a prefetch hit says nothing
 // about demand reuse).
-func (p *PACMan) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+func (p *PACMan) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	if acc.IsPrefetch() {
 		return
 	}
@@ -105,7 +107,7 @@ func (p *PACMan) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 // OnFill implements cache.Policy: demand fills insert at RRPV max-1
 // (SRRIP); prefetch fills insert at the distant RRPV, and under PACMan-M
 // they insert at max (immediately evictable).
-func (p *PACMan) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
+func (p *PACMan) OnFill(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	if acc.IsPrefetch() {
 		if p.useM(set) {
 			p.rrpv[set][way] = p.maxRRPV
@@ -118,6 +120,6 @@ func (p *PACMan) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
 }
 
 // OnEvict implements cache.Policy.
-func (p *PACMan) OnEvict(set, way int, _ []cache.Block) {
+func (p *PACMan) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	p.rrpv[set][way] = p.maxRRPV
 }

@@ -22,7 +22,7 @@ func invalidWay(blocks []cache.Block) int {
 
 // lruWay returns the way with the oldest LastTouch among valid ways.
 func lruWay(blocks []cache.Block) int {
-	best, bestTouch := 0, ^uint64(0)
+	best, bestTouch := 0, ^mem.Cycle(0)
 	for w := range blocks {
 		if blocks[w].LastTouch < bestTouch {
 			best, bestTouch = w, blocks[w].LastTouch
@@ -36,12 +36,12 @@ func lruWay(blocks []cache.Block) int {
 // lets a policy learn demand and prefetch behaviour of the same load
 // independently (paper §IV-A); folding the core id disambiguates cores in a
 // shared LLC.
-func Signature(pc uint64, isPrefetch bool, core int, bits uint) uint64 {
-	x := pc*2 + 1
+func Signature(pc mem.PC, isPrefetch bool, core mem.CoreID, bits uint) uint64 {
+	x := pc.Uint64()*2 + 1
 	if isPrefetch {
 		x ^= 0xABCD_EF01_2345_6789
 	}
-	x ^= uint64(core) << 56
+	x ^= core.Uint64() << 56
 	return mem.FoldHash(x, bits)
 }
 
@@ -70,19 +70,20 @@ func (s Sampler) Count() int { return s.count }
 // Index returns the dense sample index of the set, or -1 if not sampled.
 // Exactly one set per group is sampled, at a mixed (pseudo-random but
 // deterministic) offset, so samples spread across the index space.
-func (s Sampler) Index(set int) int {
+func (s Sampler) Index(set mem.SetIdx) int {
+	si := set.Int()
 	if s.groupSize == 1 {
-		if set < s.count {
-			return set
+		if si < s.count {
+			return si
 		}
 		return -1
 	}
-	group := set / s.groupSize
+	group := si / s.groupSize
 	if group >= s.count {
 		return -1
 	}
 	offset := int(mem.Mix64(uint64(group)*0x9e3779b9+12345) % uint64(s.groupSize))
-	if set%s.groupSize == offset {
+	if si%s.groupSize == offset {
 		return group
 	}
 	return -1
@@ -102,7 +103,7 @@ func NewLRU() *LRU { return &LRU{} }
 func (*LRU) Name() string { return "LRU" }
 
 // Victim implements cache.Policy.
-func (*LRU) Victim(_ int, blocks []cache.Block, _ mem.Access) (int, bool) {
+func (*LRU) Victim(_ mem.SetIdx, blocks []cache.Block, _ mem.Access) (int, bool) {
 	if w := invalidWay(blocks); w >= 0 {
 		return w, false
 	}
@@ -110,13 +111,13 @@ func (*LRU) Victim(_ int, blocks []cache.Block, _ mem.Access) (int, bool) {
 }
 
 // OnHit implements cache.Policy (recency is tracked by the cache itself).
-func (*LRU) OnHit(int, int, []cache.Block, mem.Access) {}
+func (*LRU) OnHit(mem.SetIdx, int, []cache.Block, mem.Access) {}
 
 // OnFill implements cache.Policy.
-func (*LRU) OnFill(int, int, []cache.Block, mem.Access) {}
+func (*LRU) OnFill(mem.SetIdx, int, []cache.Block, mem.Access) {}
 
 // OnEvict implements cache.Policy.
-func (*LRU) OnEvict(int, int, []cache.Block) {}
+func (*LRU) OnEvict(mem.SetIdx, int, []cache.Block) {}
 
 // ---------------------------------------------------------------------------
 // SRRIP
@@ -125,8 +126,8 @@ func (*LRU) OnEvict(int, int, []cache.Block) {}
 // ISCA 2010) with maxRRPV=3: insert at 2, promote to 0 on hit, evict the
 // first way at 3 (aging all ways until one reaches 3).
 type SRRIP struct {
-	rrpv    [][]uint8
-	maxRRPV uint8
+	rrpv    [][]uint8 //chromevet:width 2
+	maxRRPV uint8     //chromevet:width 2
 }
 
 // NewSRRIP builds an SRRIP policy for the given geometry.
@@ -142,7 +143,7 @@ func NewSRRIP(sets, ways int) *SRRIP {
 func (*SRRIP) Name() string { return "SRRIP" }
 
 // Victim implements cache.Policy.
-func (p *SRRIP) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) {
+func (p *SRRIP) Victim(set mem.SetIdx, blocks []cache.Block, _ mem.Access) (int, bool) {
 	if w := invalidWay(blocks); w >= 0 {
 		return w, false
 	}
@@ -154,20 +155,21 @@ func (p *SRRIP) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) 
 			}
 		}
 		for w := range r {
+			//chromevet:allow hwwidth -- the scan above returned if any way was at maxRRPV, so every way is below the ceiling and the increment saturates in width
 			r[w]++
 		}
 	}
 }
 
 // OnHit implements cache.Policy.
-func (p *SRRIP) OnHit(set, way int, _ []cache.Block, _ mem.Access) {
+func (p *SRRIP) OnHit(set mem.SetIdx, way int, _ []cache.Block, _ mem.Access) {
 	p.rrpv[set][way] = 0
 }
 
 // OnFill implements cache.Policy.
-func (p *SRRIP) OnFill(set, way int, _ []cache.Block, _ mem.Access) {
+func (p *SRRIP) OnFill(set mem.SetIdx, way int, _ []cache.Block, _ mem.Access) {
 	p.rrpv[set][way] = p.maxRRPV - 1
 }
 
 // OnEvict implements cache.Policy.
-func (*SRRIP) OnEvict(int, int, []cache.Block) {}
+func (*SRRIP) OnEvict(mem.SetIdx, int, []cache.Block) {}

@@ -15,7 +15,7 @@ func TestSamplerCountAndSpread(t *testing.T) {
 	}
 	seen := map[int]bool{}
 	for set := 0; set < 2048; set++ {
-		if idx := s.Index(set); idx >= 0 {
+		if idx := s.Index(mem.SetIdxOf(set)); idx >= 0 {
 			if idx >= 64 {
 				t.Fatalf("sample index %d out of range", idx)
 			}
@@ -36,8 +36,8 @@ func TestSamplerSmallCache(t *testing.T) {
 		t.Fatalf("count = %d, want all 32 sets sampled", s.Count())
 	}
 	for set := 0; set < 32; set++ {
-		if s.Index(set) != set {
-			t.Fatalf("small-cache sampler must be the identity, got Index(%d)=%d", set, s.Index(set))
+		if s.Index(mem.SetIdxOf(set)) != set {
+			t.Fatalf("small-cache sampler must be the identity, got Index(%d)=%d", set, s.Index(mem.SetIdxOf(set)))
 		}
 	}
 }
@@ -60,7 +60,7 @@ func TestSignatureDistinguishes(t *testing.T) {
 	if Signature(0x404, false, 0, 13) == base {
 		t.Error("different PCs should (almost surely) differ")
 	}
-	f := func(pc uint64) bool { return Signature(pc, false, 0, 13) < 1<<13 }
+	f := func(pc uint64) bool { return Signature(mem.PCOf(pc), false, 0, 13) < 1<<13 }
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
@@ -83,15 +83,15 @@ func exercisePolicy(t *testing.T, p cache.Policy, sets, ways int) *cache.Cache {
 			typ = mem.Writeback
 		}
 		c.Access(mem.Access{
-			PC:    0x400 + uint64(i%17)*8,
+			PC:    mem.PCOf(0x400 + uint64(i%17)*8),
 			Addr:  addr,
 			Type:  typ,
-			Core:  i % 4,
-			Cycle: uint64(i),
+			Core:  mem.CoreIDOf(i % 4),
+			Cycle: mem.CycleOf(uint64(i)),
 		})
 		// Re-reference some addresses to exercise hit paths.
 		if i%3 == 0 {
-			c.Access(mem.Access{PC: 0x400, Addr: addr, Type: mem.Load, Core: i % 4, Cycle: uint64(i)})
+			c.Access(mem.Access{PC: 0x400, Addr: addr, Type: mem.Load, Core: mem.CoreIDOf(i % 4), Cycle: mem.CycleOf(uint64(i))})
 		}
 	}
 	return c
@@ -126,7 +126,7 @@ func TestPoliciesSurviveMixedTraffic(t *testing.T) {
 func TestSRRIPPromotionAndAging(t *testing.T) {
 	p := NewSRRIP(1, 2)
 	c := cache.New(cache.Config{Name: "T", Sets: 1, Ways: 2}, p)
-	a := func(addr mem.Addr, cycle uint64) cache.Result {
+	a := func(addr mem.Addr, cycle mem.Cycle) cache.Result {
 		return c.Access(mem.Access{PC: 1, Addr: addr, Type: mem.Load, Cycle: cycle})
 	}
 	a(0x000, 1)
@@ -181,7 +181,7 @@ func TestOptGenWindowExpiry(t *testing.T) {
 	var ctx [pchrDepth]uint16
 	g.Access(1, 0, ctx)
 	for i := 0; i < 20; i++ {
-		g.Access(uint64(100+i), 0, ctx)
+		g.Access(mem.BlockAddrOf(uint64(100+i)), 0, ctx)
 	}
 	// The original access is beyond the window (and evicted from history):
 	// no label.
@@ -197,7 +197,7 @@ func TestHawkeyeLearnsStreamingIsAverse(t *testing.T) {
 	// Pure streaming from one PC: no reuse, so OPTgen never sees a hit and
 	// eviction detraining drives the PC's counter down.
 	for i := 0; i < 30000; i++ {
-		c.Access(mem.Access{PC: 0x1234, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 0x1234, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 	sig := Signature(0x1234, false, 0, hawkeyeTableBits)
 	if h.counters[sig] >= 4 {
@@ -209,8 +209,8 @@ func TestHawkeyeKeepsReusedBlocksLonger(t *testing.T) {
 	const sets, ways = 16, 2
 	h := NewHawkeye(sets, ways, sets)
 	c := cache.New(cache.Config{Name: "T", Sets: sets, Ways: ways}, h)
-	cycle := uint64(0)
-	tick := func() uint64 { cycle++; return cycle }
+	cycle := mem.Cycle(0)
+	tick := func() mem.Cycle { cycle++; return cycle }
 	// Interleave a hot block (PC A, immediate reuse) with a stream (PC B).
 	hot := mem.Addr(0)
 	for i := 0; i < 20000; i++ {
@@ -230,7 +230,7 @@ func TestMockingjayBypassesStreaming(t *testing.T) {
 	m := NewMockingjay(sets, ways, sets)
 	c := cache.New(cache.Config{Name: "T", Sets: sets, Ways: ways}, m)
 	for i := 0; i < 40000; i++ {
-		c.Access(mem.Access{PC: 0x77, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 0x77, Addr: mem.Addr(i * 64), Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 	st := c.Stats()
 	if st.Bypasses == 0 {
@@ -245,7 +245,7 @@ func TestMockingjayCachesHotBlocks(t *testing.T) {
 	// Hot set of 32 blocks cycled repeatedly: short reuse distance.
 	for i := 0; i < 40000; i++ {
 		addr := mem.Addr((i % 32) * 64)
-		c.Access(mem.Access{PC: 0x99, Addr: addr, Type: mem.Load, Cycle: uint64(i)})
+		c.Access(mem.Access{PC: 0x99, Addr: addr, Type: mem.Load, Cycle: mem.CycleOf(uint64(i))})
 	}
 	st := c.Stats()
 	ratio := float64(st.DemandHits()) / float64(st.DemandAccesses())
@@ -258,7 +258,7 @@ func TestCAREObstructionDemotesInsertions(t *testing.T) {
 	const sets, ways = 16, 2
 	mkCare := func(obstructed bool) *CARE {
 		cr := NewCARE(sets, ways, sets)
-		cr.Obstructed = func(int) bool { return obstructed }
+		cr.Obstructed = func(mem.CoreID) bool { return obstructed }
 		return cr
 	}
 	// With an obstructed core, insertion RRPV must be demoted relative to a
@@ -297,8 +297,8 @@ func TestGliderLearnsStreamVsReuse(t *testing.T) {
 	const sets, ways = 16, 2
 	g := NewGlider(sets, ways, 1, sets)
 	c := cache.New(cache.Config{Name: "T", Sets: sets, Ways: ways}, g)
-	cycle := uint64(0)
-	tick := func() uint64 { cycle++; return cycle }
+	cycle := mem.Cycle(0)
+	tick := func() mem.Cycle { cycle++; return cycle }
 	for i := 0; i < 30000; i++ {
 		c.Access(mem.Access{PC: 0xA, Addr: 0, Type: mem.Load, Cycle: tick()})
 		c.Access(mem.Access{PC: 0xB, Addr: mem.Addr((i + 100) * 64), Type: mem.Load, Cycle: tick()})
@@ -330,19 +330,19 @@ func TestPACManPrefetchTreatment(t *testing.T) {
 	if set < 0 {
 		t.Fatal("no follower set found")
 	}
-	p.OnFill(set, 0, blocks, demand)
-	p.OnFill(set, 1, blocks, pfAcc)
+	p.OnFill(mem.SetIdxOf(set), 0, blocks, demand)
+	p.OnFill(mem.SetIdxOf(set), 1, blocks, pfAcc)
 	if p.rrpv[set][1] < p.rrpv[set][0] {
 		t.Fatalf("prefetch fill rrpv %d should not be closer than demand %d",
 			p.rrpv[set][1], p.rrpv[set][0])
 	}
 	// Prefetch hits must not promote; demand hits must.
 	p.rrpv[set][0] = 2
-	p.OnHit(set, 0, blocks, pfAcc)
+	p.OnHit(mem.SetIdxOf(set), 0, blocks, pfAcc)
 	if p.rrpv[set][0] != 2 {
 		t.Fatal("prefetch hit promoted the line")
 	}
-	p.OnHit(set, 0, blocks, demand)
+	p.OnHit(mem.SetIdxOf(set), 0, blocks, demand)
 	if p.rrpv[set][0] != 0 {
 		t.Fatal("demand hit did not promote the line")
 	}
@@ -357,7 +357,7 @@ func TestPACManSetDueling(t *testing.T) {
 	for s := 0; s < sets; s++ {
 		if p.leaderH[s] {
 			for i := 0; i < 10; i++ {
-				p.Victim(s, blocks, mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load})
+				p.Victim(mem.SetIdxOf(s), blocks, mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load})
 			}
 		}
 	}
@@ -374,7 +374,7 @@ func TestDRRIPSetDueling(t *testing.T) {
 	for s := 0; s < sets; s++ {
 		if d.leaderS[s] {
 			for i := 0; i < 5; i++ {
-				d.Victim(s, blocks, mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load})
+				d.Victim(mem.SetIdxOf(s), blocks, mem.Access{PC: 1, Addr: mem.Addr(i * 64), Type: mem.Load})
 			}
 		}
 	}
@@ -401,7 +401,7 @@ func TestDRRIPBimodalInsertion(t *testing.T) {
 	blocks := make([]cache.Block, ways)
 	distant, near := 0, 0
 	for i := 0; i < 320; i++ {
-		d.OnFill(set, 0, blocks, mem.Access{PC: 1, Type: mem.Load})
+		d.OnFill(mem.SetIdxOf(set), 0, blocks, mem.Access{PC: 1, Type: mem.Load})
 		if d.rrpv[set][0] == d.maxRRPV {
 			distant++
 		} else {
@@ -440,7 +440,7 @@ func TestHawkeyeAgingProtectsNewFriendly(t *testing.T) {
 // TestGliderPCHRShifts: the PC history register must reflect recent PCs.
 func TestGliderPCHRShifts(t *testing.T) {
 	g := NewGlider(16, 2, 1, 16)
-	for pc := uint64(1); pc <= 5; pc++ {
+	for pc := mem.PC(1); pc <= 5; pc++ {
 		g.pushPC(mem.Access{PC: pc})
 	}
 	f1 := g.features(0)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"chrome/internal/experiments"
+	"chrome/internal/mem"
 )
 
 // standard LLC geometry for constructibility checks (Table V: 2MB/core,
@@ -109,7 +110,7 @@ func TestRegistryComplete(t *testing.T) {
 
 	constructed := map[string]bool{} // concrete policy type names from schemes
 	for _, s := range experiments.AllSchemes() {
-		p := s.Factory(stdSets, stdWays, stdCores, func(int) bool { return false })
+		p := s.Factory(stdSets, stdWays, stdCores, func(mem.CoreID) bool { return false })
 		if p == nil {
 			t.Fatalf("scheme %s constructed a nil policy", s.Name)
 		}
@@ -142,7 +143,7 @@ func TestRegistryComplete(t *testing.T) {
 func TestSchemesConstructibleAtStandardGeometry(t *testing.T) {
 	for _, cores := range []int{1, 4, 8, 16} {
 		for _, s := range experiments.AllSchemes() {
-			p := s.Factory(stdSets, stdWays, cores, func(int) bool { return false })
+			p := s.Factory(stdSets, stdWays, cores, func(mem.CoreID) bool { return false })
 			if p == nil {
 				t.Fatalf("scheme %s (cores=%d): nil policy", s.Name, cores)
 			}

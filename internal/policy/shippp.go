@@ -10,10 +10,11 @@ import (
 // training and prefetch-aware insertion. Included as an extension baseline
 // (paper §VIII discusses it as related work).
 type SHiPPP struct {
-	sampler   Sampler
-	shct      []uint8
-	maxRRPV   uint8
-	rrpv      [][]uint8
+	sampler Sampler
+	// shct holds 3-bit saturating signature hit counters.
+	shct      []uint8   //chromevet:width 3
+	maxRRPV   uint8     //chromevet:width 2
+	rrpv      [][]uint8 //chromevet:width 2
 	lineSig   [][]uint64
 	lineReref [][]bool
 	sampled   []bool
@@ -39,7 +40,7 @@ func NewSHiPPP(sets, ways, sampled int) *SHiPPP {
 		p.rrpv[s] = make([]uint8, ways)
 		p.lineSig[s] = make([]uint64, ways)
 		p.lineReref[s] = make([]bool, ways)
-		p.sampled[s] = p.sampler.Index(s) >= 0
+		p.sampled[s] = p.sampler.Index(mem.SetIdxOf(s)) >= 0
 	}
 	return p
 }
@@ -52,7 +53,7 @@ func (p *SHiPPP) sig(acc mem.Access) uint64 {
 }
 
 // Victim implements cache.Policy.
-func (p *SHiPPP) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool) {
+func (p *SHiPPP) Victim(set mem.SetIdx, blocks []cache.Block, _ mem.Access) (int, bool) {
 	if w := invalidWay(blocks); w >= 0 {
 		return w, false
 	}
@@ -64,6 +65,7 @@ func (p *SHiPPP) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool)
 			}
 		}
 		for w := range r {
+			//chromevet:allow hwwidth -- the scan above returned if any way was at maxRRPV, so every way is below the ceiling and the increment saturates in width
 			r[w]++
 		}
 	}
@@ -71,7 +73,7 @@ func (p *SHiPPP) Victim(set int, blocks []cache.Block, _ mem.Access) (int, bool)
 
 // OnHit implements cache.Policy: SHiP++ trains only on the first
 // re-reference and promotes demand hits to MRU.
-func (p *SHiPPP) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
+func (p *SHiPPP) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	if p.sampled[set] && !p.lineReref[set][way] {
 		p.lineReref[set][way] = true
 		s := p.lineSig[set][way]
@@ -88,7 +90,7 @@ func (p *SHiPPP) OnHit(set, way int, _ []cache.Block, acc mem.Access) {
 
 // OnFill implements cache.Policy: prefetch fills insert at distant RRPV
 // unless their signature is strongly predicted to be reused.
-func (p *SHiPPP) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
+func (p *SHiPPP) OnFill(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) {
 	s := p.sig(acc)
 	var r uint8
 	switch {
@@ -101,13 +103,13 @@ func (p *SHiPPP) OnFill(set, way int, _ []cache.Block, acc mem.Access) {
 	default:
 		r = p.maxRRPV - 1
 	}
-	p.rrpv[set][way] = r
+	p.rrpv[set][way] = r //chromevet:allow hwwidth -- r is one of {0, maxRRPV-1, maxRRPV} per the switch above, all within 2 bits
 	p.lineSig[set][way] = s
 	p.lineReref[set][way] = false
 }
 
 // OnEvict implements cache.Policy.
-func (p *SHiPPP) OnEvict(set, way int, _ []cache.Block) {
+func (p *SHiPPP) OnEvict(set mem.SetIdx, way int, _ []cache.Block) {
 	if p.sampled[set] && !p.lineReref[set][way] {
 		s := p.lineSig[set][way]
 		if p.shct[s] > 0 {

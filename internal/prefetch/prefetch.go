@@ -50,9 +50,9 @@ func (*NextLine) Name() string { return "next-line" }
 
 // Train implements Prefetcher.
 func (p *NextLine) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
-	base := acc.Addr.BlockAddr()
+	base := acc.Addr.BlockAligned()
 	for i := 1; i <= p.degree; i++ {
-		buf = append(buf, base+mem.Addr(i*mem.BlockSize))
+		buf = append(buf, base.Plus(uint64(i)*mem.BlockSize))
 	}
 	return buf
 }
@@ -61,7 +61,7 @@ func (p *NextLine) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
 // PC-based stride
 
 type strideEntry struct {
-	pc       uint64
+	pc       mem.PC
 	lastAddr mem.Addr
 	stride   int64
 	conf     uint8
@@ -90,13 +90,13 @@ func (*Stride) Name() string { return "stride" }
 
 // Train implements Prefetcher.
 func (p *Stride) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
-	idx := mem.FoldHash(acc.PC, p.bits)
+	idx := mem.FoldHash(acc.PC.Uint64(), p.bits)
 	e := &p.table[idx]
 	if !e.valid || e.pc != acc.PC {
 		*e = strideEntry{pc: acc.PC, lastAddr: acc.Addr, valid: true}
 		return buf
 	}
-	stride := int64(acc.Addr) - int64(e.lastAddr)
+	stride := acc.Addr.Delta(e.lastAddr)
 	if stride == 0 {
 		return buf
 	}
@@ -114,9 +114,9 @@ func (p *Stride) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
 	e.lastAddr = acc.Addr
 	if e.conf >= 2 && e.stride != 0 {
 		for i := 1; i <= p.degree; i++ {
-			target := int64(acc.Addr) + int64(i)*e.stride
+			target := int64(acc.Addr.Uint64()) + int64(i)*e.stride
 			if target > 0 {
-				buf = append(buf, mem.Addr(target).BlockAddr())
+				buf = append(buf, mem.AddrOf(uint64(target)).BlockAligned())
 			}
 		}
 	}
@@ -182,11 +182,11 @@ func (p *Streamer) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
 	}
 	e.lastBlock = blk
 	if e.conf >= 2 {
-		pageBase := mem.Addr(page << mem.PageShift)
+		pageBase := mem.AddrOf(page << mem.PageShift)
 		for i := 1; i <= p.degree; i++ {
 			t := blk + int64(i)*int64(e.direction)
 			if t >= 0 && t < mem.PageSize/mem.BlockSize {
-				buf = append(buf, pageBase+mem.Addr(t<<mem.BlockShift))
+				buf = append(buf, pageBase.Plus(uint64(t)<<mem.BlockShift))
 			}
 		}
 	}
@@ -197,7 +197,7 @@ func (p *Streamer) Train(acc mem.Access, _ bool, buf []mem.Addr) []mem.Addr {
 // IPCP
 
 type ipcpEntry struct {
-	pc       uint64
+	pc       mem.PC
 	lastAddr mem.Addr
 	stride   int64
 	strideOK uint8 // constant-stride confidence
@@ -232,13 +232,13 @@ func (*IPCP) Name() string { return "ipcp" }
 
 // Train implements Prefetcher.
 func (p *IPCP) Train(acc mem.Access, hit bool, buf []mem.Addr) []mem.Addr {
-	idx := mem.FoldHash(acc.PC, 9)
+	idx := mem.FoldHash(acc.PC.Uint64(), 9)
 	e := &p.ipt[idx]
 	if !e.valid || e.pc != acc.PC {
 		*e = ipcpEntry{pc: acc.PC, lastAddr: acc.Addr, valid: true}
 		return buf
 	}
-	deltaBlocks := (int64(acc.Addr) >> mem.BlockShift) - (int64(e.lastAddr) >> mem.BlockShift)
+	deltaBlocks := int64(acc.Addr.Block().Uint64()) - int64(e.lastAddr.Block().Uint64())
 	if deltaBlocks == 0 {
 		return buf
 	}
@@ -260,21 +260,21 @@ func (p *IPCP) Train(acc mem.Access, hit bool, buf []mem.Addr) []mem.Addr {
 		e.sig = (e.sig << 3) ^ uint8(deltaBlocks&0x3f)
 	}
 	e.lastAddr = acc.Addr
-	base := acc.Addr.BlockAddr()
+	base := acc.Addr.BlockAligned()
 	switch {
 	case e.strideOK >= 2 && e.stride != 0:
 		// CS class: run ahead along the stride.
 		for i := 1; i <= p.degree; i++ {
-			t := int64(base) + int64(i)*e.stride*mem.BlockSize
+			t := int64(base.Uint64()) + int64(i)*e.stride*mem.BlockSize
 			if t > 0 {
-				buf = append(buf, mem.Addr(t))
+				buf = append(buf, mem.AddrOf(uint64(t)))
 			}
 		}
 	case p.cspt[e.sig] != 0:
 		// CPLX class: follow the predicted next delta once.
-		t := int64(base) + int64(p.cspt[e.sig])*mem.BlockSize
+		t := int64(base.Uint64()) + int64(p.cspt[e.sig])*mem.BlockSize
 		if t > 0 {
-			buf = append(buf, mem.Addr(t))
+			buf = append(buf, mem.AddrOf(uint64(t)))
 		}
 	case !hit:
 		// GS fallback: next-line on misses only.

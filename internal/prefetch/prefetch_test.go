@@ -6,7 +6,7 @@ import (
 	"chrome/internal/mem"
 )
 
-func demand(pc uint64, addr mem.Addr) mem.Access {
+func demand(pc mem.PC, addr mem.Addr) mem.Access {
 	return mem.Access{PC: pc, Addr: addr, Type: mem.Load}
 }
 
@@ -39,8 +39,8 @@ func TestStrideLearnsAndPrefetches(t *testing.T) {
 		t.Fatalf("confident stride should emit 2 candidates, got %v", got)
 	}
 	last := mem.Addr(0x10000 + 5*256)
-	if got[0] != (last + 256).BlockAddr() {
-		t.Fatalf("first candidate %#x, want %#x", uint64(got[0]), uint64((last + 256).BlockAddr()))
+	if got[0] != (last + 256).BlockAligned() {
+		t.Fatalf("first candidate %#x, want %#x", uint64(got[0]), uint64((last + 256).BlockAligned()))
 	}
 }
 
@@ -111,7 +111,7 @@ func TestIPCPConstantStride(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("CS class should emit 3 candidates, got %v", got)
 	}
-	if got[0] != mem.Addr(0x80000+7*128+128).BlockAddr() {
+	if got[0] != mem.Addr(0x80000+7*128+128).BlockAligned() {
 		t.Fatalf("first CS candidate %#x wrong", uint64(got[0]))
 	}
 }

@@ -11,11 +11,11 @@ type DRAMConfig struct {
 	// BanksPerChannel is ranks × banks (power of two).
 	BanksPerChannel int
 	// RowHit is the access latency in core cycles when the row is open.
-	RowHit uint64
+	RowHit mem.Cycle
 	// RowMiss is the access latency when a precharge+activate is needed.
-	RowMiss uint64
+	RowMiss mem.Cycle
 	// Burst is the channel occupancy per 64-byte transfer in core cycles.
-	Burst uint64
+	Burst mem.Cycle
 	// RowBlocks is the number of cache blocks per DRAM row.
 	RowBlocks uint64
 }
@@ -56,7 +56,7 @@ type DRAM struct {
 	busyWait uint64 // cycles of queueing delay charged
 
 	// OnAccess, when non-nil, observes every transfer (testing/debugging).
-	OnAccess func(cycle, start uint64, write bool)
+	OnAccess func(cycle, start mem.Cycle, write bool)
 }
 
 type dramChannel struct {
@@ -80,14 +80,14 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 // returns its total latency (queueing + row access + burst).
 //
 //chromevet:hot
-func (d *DRAM) Access(addr mem.Addr, cycle uint64, write bool) uint64 {
-	blk := addr.BlockNumber()
+func (d *DRAM) Access(addr mem.Addr, cycle mem.Cycle, write bool) mem.Cycle {
+	blk := addr.Block().Uint64()
 	ch := int(blk & uint64(d.cfg.Channels-1))
 	bank := int((blk >> 1) & uint64(d.cfg.BanksPerChannel-1))
 	row := blk / d.cfg.RowBlocks
 
 	c := &d.chans[ch]
-	epoch := cycle / dramEpochLen
+	epoch := cycle.Div(dramEpochLen)
 	if epoch != c.epoch {
 		if epoch > c.epoch {
 			// Drain the carried backlog at full channel rate.
@@ -102,15 +102,15 @@ func (d *DRAM) Access(addr mem.Addr, cycle uint64, write bool) uint64 {
 		// Requests timestamped before the current window (out-of-order
 		// arrivals) are booked into the current window.
 	}
-	var wait uint64
+	var wait mem.Cycle
 	if c.work > dramEpochLen {
-		wait = c.work - dramEpochLen
-		d.busyWait += wait
+		wait = mem.CycleOf(c.work - dramEpochLen)
+		d.busyWait += wait.Uint64()
 	}
-	c.work += d.cfg.Burst
+	c.work += d.cfg.Burst.Uint64()
 
 	bi := ch*d.cfg.BanksPerChannel + bank
-	var lat uint64
+	var lat mem.Cycle
 	if d.openRow[bi] == row+1 {
 		lat = d.cfg.RowHit
 	} else {
@@ -137,7 +137,7 @@ func (d *DRAM) Writes() uint64 { return d.writes }
 // AvgLatency returns a configuration-level estimate of the unloaded main
 // memory latency, used as the C-AMAT obstruction threshold T_mem.
 func (d *DRAM) AvgLatency() float64 {
-	return float64(d.cfg.RowHit+d.cfg.RowMiss)/2 + float64(d.cfg.Burst)
+	return float64((d.cfg.RowHit+d.cfg.RowMiss).Uint64())/2 + float64(d.cfg.Burst.Uint64())
 }
 
 // mshr models a miss-status-holding-register file: it bounds the number of
@@ -145,7 +145,7 @@ func (d *DRAM) AvgLatency() float64 {
 // cycle; Commit registers the completion time.
 type mshr struct {
 	cap  int
-	busy []uint64 // completion cycles of outstanding misses
+	busy []mem.Cycle // completion cycles of outstanding misses
 	// stalls counts how many acquisitions had to wait for a free entry.
 	stalls uint64
 	// mshrCheck is the simcheck sanitizer's accounting (empty in normal
@@ -157,14 +157,14 @@ func newMSHR(entries int) *mshr {
 	if entries <= 0 {
 		panic("sim: MSHR entries must be positive")
 	}
-	return &mshr{cap: entries, busy: make([]uint64, 0, entries)}
+	return &mshr{cap: entries, busy: make([]mem.Cycle, 0, entries)}
 }
 
 // acquire prunes completed entries at `start` and, if the file is full,
 // delays start until the earliest outstanding miss completes.
 //
 //chromevet:hot
-func (m *mshr) acquire(start uint64) uint64 {
+func (m *mshr) acquire(start mem.Cycle) mem.Cycle {
 	m.noteAcquire()
 	m.prune(start)
 	for len(m.busy) >= m.cap {
@@ -190,7 +190,7 @@ func (m *mshr) acquire(start uint64) uint64 {
 // commit registers an outstanding miss completing at the given cycle.
 //
 //chromevet:hot
-func (m *mshr) commit(complete uint64) {
+func (m *mshr) commit(complete mem.Cycle) {
 	m.busy = append(m.busy, complete) //chromevet:allow hotalloc -- len < cap invariant: acquire blocks until below capacity, and busy is pre-sized to cap in newMSHR
 	m.noteCommit(len(m.busy), m.cap)
 }
@@ -198,7 +198,7 @@ func (m *mshr) commit(complete uint64) {
 // prune drops entries that completed at or before now.
 //
 //chromevet:hot
-func (m *mshr) prune(now uint64) {
+func (m *mshr) prune(now mem.Cycle) {
 	kept := m.busy[:0]
 	for _, b := range m.busy {
 		if b > now {

@@ -26,7 +26,7 @@ func TestDRAMBandwidthQueueing(t *testing.T) {
 	d := NewDRAM(DefaultDRAMConfig())
 	// Flood one channel (block 0 and multiples of 2 share channel 0) in a
 	// single cycle window: later requests must see queueing delay.
-	var last uint64
+	var last mem.Cycle
 	for i := 0; i < 100; i++ {
 		addr := mem.Addr(i) * 2 * 64 // even block numbers -> channel 0
 		last = d.Access(addr, 0, false)
@@ -85,7 +85,7 @@ func TestDRAMLatencyLowerBound(t *testing.T) {
 	cfg := DefaultDRAMConfig()
 	f := func(addrs []uint16, cycleSeed uint16) bool {
 		d := NewDRAM(cfg)
-		cycle := uint64(cycleSeed)
+		cycle := mem.CycleOf(uint64(cycleSeed))
 		for _, a := range addrs {
 			lat := d.Access(mem.Addr(a)<<6, cycle, false)
 			if lat < cfg.RowHit+cfg.Burst {
@@ -153,10 +153,10 @@ func TestMSHRAcquireMonotone(t *testing.T) {
 			// Register the acquire half of the discipline without its
 			// timing side effects (keeps the simcheck accounting paired).
 			m.noteAcquire()
-			m.commit(uint64(c))
+			m.commit(mem.CycleOf(uint64(c)))
 		}
-		got := m.acquire(uint64(start))
-		return got == uint64(start)
+		got := m.acquire(mem.CycleOf(uint64(start)))
+		return got == mem.CycleOf(uint64(start))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"chrome/internal/cache"
+	"chrome/internal/mem"
 	"chrome/internal/policy"
 	"chrome/internal/prefetch"
 	"chrome/internal/trace"
@@ -117,7 +118,7 @@ func TestCoreCountMismatchPanics(t *testing.T) {
 // TestSlowerMemoryLowersIPC: sanity of the timing model — a much slower
 // DRAM must reduce IPC for a memory-bound workload.
 func TestSlowerMemoryLowersIPC(t *testing.T) {
-	run := func(rowMiss uint64) float64 {
+	run := func(rowMiss mem.Cycle) float64 {
 		p, _ := workload.ByName("mcf")
 		cfg := ScaledConfig(1)
 		cfg.DRAM.RowMiss = rowMiss
@@ -136,7 +137,7 @@ func TestSlowerMemoryLowersIPC(t *testing.T) {
 func TestBypassTrackerIntegration(t *testing.T) {
 	p, _ := workload.ByName("xz")
 	cfg := ScaledConfig(2)
-	sys := New(cfg, workload.HomogeneousMix(p, 2), func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	sys := New(cfg, workload.HomogeneousMix(p, 2), func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewMockingjay(sets, ways, 64)
 	})
 	tr := cache.NewReuseTracker(0)
@@ -152,7 +153,7 @@ func TestEvictionTrackerIntegration(t *testing.T) {
 	p, _ := workload.ByName("gcc")
 	cfg := ScaledConfig(2)
 	cfg.L1Prefetcher = func() prefetch.Prefetcher { return prefetch.NewNextLine(1) }
-	sys := New(cfg, workload.HomogeneousMix(p, 2), func(sets, ways, cores int, _ func(int) bool) cache.Policy {
+	sys := New(cfg, workload.HomogeneousMix(p, 2), func(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 		return policy.NewGlider(sets, ways, cores, 64)
 	})
 	tr := cache.NewReuseTracker(0)

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"chrome/internal/mem"
 	"chrome/internal/trace"
 	"chrome/internal/workload"
 )
@@ -11,7 +12,7 @@ import (
 // runLinear mirrors System.Run but drives both phases with the original
 // O(cores)-per-step linear scan, serving as the oracle for the min-heap
 // scheduler in runPhase.
-func (s *System) runLinear(warmup, measure uint64) Result {
+func (s *System) runLinear(warmup, measure mem.Instr) Result {
 	s.runPhaseLinear(warmup)
 	s.llc.ResetStats()
 	for i := range s.cores {

@@ -5,6 +5,8 @@ package sim
 import (
 	"strings"
 	"testing"
+
+	"chrome/internal/mem"
 )
 
 func expectPanic(t *testing.T, substr string, fn func()) {
@@ -54,7 +56,7 @@ func TestSimcheckMSHRLeak(t *testing.T) {
 // the simulator follows keeps the sanitizer silent.
 func TestSimcheckMSHRCleanDrain(t *testing.T) {
 	m := newMSHR(2)
-	for i := uint64(0); i < 8; i++ {
+	for i := mem.Cycle(0); i < 8; i++ {
 		start := m.acquire(i * 10)
 		m.commit(start + 100)
 	}

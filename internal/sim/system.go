@@ -21,7 +21,7 @@ import (
 // PolicyFactory builds an LLC policy for a given geometry. The obstructed
 // callback reports per-core LLC-obstruction from the C-AMAT monitor;
 // concurrency-aware policies (CHROME, CARE) wire it in, others ignore it.
-type PolicyFactory func(sets, ways, cores int, obstructed func(core int) bool) cache.Policy
+type PolicyFactory func(sets, ways, cores int, obstructed func(core mem.CoreID) bool) cache.Policy
 
 // PrefetcherFactory builds a prefetcher instance (one per core per level).
 type PrefetcherFactory func() prefetch.Prefetcher
@@ -35,17 +35,17 @@ type Config struct {
 
 	// L1 data cache (private, per core).
 	L1Sets, L1Ways int
-	L1Latency      uint64
+	L1Latency      mem.Cycle
 	L1MSHRs        int
 
 	// L2 cache (private, per core).
 	L2Sets, L2Ways int
-	L2Latency      uint64
+	L2Latency      mem.Cycle
 	L2MSHRs        int
 
 	// LLC (shared).
 	LLCSets, LLCWays int
-	LLCLatency       uint64
+	LLCLatency       mem.Cycle
 	LLCMSHRs         int
 
 	DRAM DRAMConfig
@@ -58,7 +58,7 @@ type Config struct {
 	PrefetchQueueMax int
 
 	// CAMATEpoch is the C-AMAT measurement period (0 = paper's 100K).
-	CAMATEpoch uint64
+	CAMATEpoch mem.Cycle
 }
 
 // PaperConfig returns the Table V configuration for the given core count:
@@ -153,7 +153,7 @@ func New(cfg Config, gens []trace.Generator, factory PolicyFactory) *System { //
 		} else {
 			s.l2pf = append(s.l2pf, prefetch.NewNone())
 		}
-		core := cpu.New(i, cfg.CPU, gens[i], s.memAccess)
+		core := cpu.New(mem.CoreIDOf(i), cfg.CPU, gens[i], s.memAccess)
 		s.cores = append(s.cores, core)
 	}
 	s.sched = make([]*cpu.Core, 0, cfg.Cores)
@@ -186,7 +186,7 @@ func (s *System) SetBypassTracker(t *cache.ReuseTracker) { //chromevet:allow ali
 // access and returns the load-to-use latency.
 //
 //chromevet:hot
-func (s *System) memAccess(core int, rec trace.Record, cycle uint64) uint64 {
+func (s *System) memAccess(core mem.CoreID, rec trace.Record, cycle mem.Cycle) mem.Cycle {
 	typ := mem.Load
 	if rec.Write {
 		typ = mem.Store
@@ -199,7 +199,7 @@ func (s *System) memAccess(core int, rec trace.Record, cycle uint64) uint64 {
 // misses and triggering the L1 prefetcher.
 //
 //chromevet:hot
-func (s *System) l1Access(acc mem.Access) uint64 {
+func (s *System) l1Access(acc mem.Access) mem.Cycle {
 	core := acc.Core
 	l1 := s.l1[core]
 	res := l1.Access(acc)
@@ -232,7 +232,7 @@ func (s *System) l1Access(acc mem.Access) uint64 {
 }
 
 //chromevet:hot
-func (s *System) handleL1Eviction(core int, res cache.Result, cycle uint64) {
+func (s *System) handleL1Eviction(core mem.CoreID, res cache.Result, cycle mem.Cycle) {
 	if !res.EvictedValid || !res.Evicted.Dirty {
 		return
 	}
@@ -248,7 +248,7 @@ func (s *System) handleL1Eviction(core int, res cache.Result, cycle uint64) {
 // core's critical path (L1 demand misses); prefetch traffic sets it false.
 //
 //chromevet:hot
-func (s *System) l2Access(acc mem.Access, demand bool) uint64 {
+func (s *System) l2Access(acc mem.Access, demand bool) mem.Cycle {
 	core := acc.Core
 	l2 := s.l2[core]
 	res := l2.Access(acc)
@@ -293,7 +293,7 @@ func (s *System) l2Access(acc mem.Access, demand bool) uint64 {
 // llcAccess serves an access at the shared LLC, recording C-AMAT activity.
 //
 //chromevet:hot
-func (s *System) llcAccess(acc mem.Access) uint64 {
+func (s *System) llcAccess(acc mem.Access) mem.Cycle {
 	res := s.llc.Access(acc)
 	latency := s.cfg.LLCLatency
 	if res.Hit {
@@ -335,7 +335,7 @@ func (s *System) llcWriteback(wb mem.Access) {
 // DRAM bandwidth, and cache capacity.
 //
 //chromevet:hot
-func (s *System) issuePrefetches(core int, trigger mem.Access, cands []mem.Addr, fromL1 bool) {
+func (s *System) issuePrefetches(core mem.CoreID, trigger mem.Access, cands []mem.Addr, fromL1 bool) {
 	n := 0
 	for _, target := range cands {
 		if n >= s.cfg.PrefetchQueueMax {
@@ -376,7 +376,7 @@ func (s *System) issuePrefetches(core int, trigger mem.Access, cands []mem.Addr,
 // Run executes warmup then measurement, interleaving cores by their issue
 // frontiers, and returns the collected results. Each core executes exactly
 // warmup+measure retired instructions.
-func (s *System) Run(warmup, measure uint64) Result {
+func (s *System) Run(warmup, measure mem.Instr) Result {
 	s.runPhase(warmup)
 	// Reset statistics for the measurement window.
 	s.llc.ResetStats()
@@ -400,7 +400,7 @@ func (s *System) Run(warmup, measure uint64) Result {
 // as the test oracle.
 //
 //chromevet:hot
-func (s *System) runPhase(target uint64) {
+func (s *System) runPhase(target mem.Instr) {
 	h := s.sched[:0]
 	for _, c := range s.cores {
 		if c.Instructions() < target {
@@ -465,7 +465,7 @@ func siftDown(h []*cpu.Core, i int) {
 
 // runPhaseLinear is the original O(cores)-per-step scheduler, kept as the
 // oracle for TestHeapSchedulerMatchesLinear.
-func (s *System) runPhaseLinear(target uint64) {
+func (s *System) runPhaseLinear(target mem.Instr) {
 	for {
 		var next *cpu.Core
 		for _, c := range s.cores {
@@ -490,11 +490,11 @@ type Result struct {
 	// IPC is the per-core instructions-per-cycle over the window.
 	IPC []float64
 	// Instructions and Cycles are the per-core window totals.
-	Instructions []uint64
-	Cycles       []uint64
+	Instructions []mem.Instr
+	Cycles       []mem.Cycle
 	// TotalInstructions is the lifetime retired-instruction count across
 	// all cores (warmup + measurement); it feeds simulated-MIPS reporting.
-	TotalInstructions uint64
+	TotalInstructions mem.Instr
 	// LLC is a snapshot of the LLC counters over the window.
 	LLC cache.Stats
 	// CAMAT is the lifetime per-core C-AMAT at the LLC.
@@ -514,7 +514,7 @@ func (s *System) collect() Result {
 		r.IPC = append(r.IPC, c.IPC())
 		r.Instructions = append(r.Instructions, c.WindowInstructions())
 		r.Cycles = append(r.Cycles, c.WindowCycles())
-		r.CAMAT = append(r.CAMAT, s.mon.CAMAT(i))
+		r.CAMAT = append(r.CAMAT, s.mon.CAMAT(mem.CoreIDOf(i)))
 		r.TotalInstructions += c.Instructions()
 	}
 	return r
@@ -522,14 +522,14 @@ func (s *System) collect() Result {
 
 // MPKI returns LLC demand misses per kilo instruction across all cores.
 func (r Result) MPKI() float64 {
-	var instr uint64
+	var instr mem.Instr
 	for _, n := range r.Instructions {
 		instr += n
 	}
 	if instr == 0 {
 		return 0
 	}
-	return float64(r.LLC.DemandMisses()) * 1000 / float64(instr)
+	return float64(r.LLC.DemandMisses()) * 1000 / float64(instr.Uint64())
 }
 
 // L1 returns core i's private L1 data cache.

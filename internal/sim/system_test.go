@@ -5,17 +5,18 @@ import (
 
 	"chrome/internal/cache"
 	"chrome/internal/chrome"
+	"chrome/internal/mem"
 	"chrome/internal/policy"
 	"chrome/internal/prefetch"
 	"chrome/internal/trace"
 	"chrome/internal/workload"
 )
 
-func lruFactory(sets, ways, cores int, _ func(int) bool) cache.Policy {
+func lruFactory(sets, ways, cores int, _ func(mem.CoreID) bool) cache.Policy {
 	return policy.NewLRU()
 }
 
-func chromeFactory(sets, ways, cores int, obstructed func(int) bool) cache.Policy {
+func chromeFactory(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
 	cfg := chrome.DefaultConfig()
 	cfg.SampledSets = 256 // scaled sampling density for short test runs
 	a := chrome.New(cfg, sets, ways)
@@ -88,7 +89,7 @@ func TestCAMATMonitorRecordsActivity(t *testing.T) {
 	sys := New(ScaledConfig(2), workload.HomogeneousMix(p, 2), lruFactory)
 	sys.Run(5_000, 20_000)
 	for core := 0; core < 2; core++ {
-		if c := sys.Monitor().CAMAT(core); c <= 0 {
+		if c := sys.Monitor().CAMAT(mem.CoreIDOf(core)); c <= 0 {
 			t.Fatalf("core %d C-AMAT = %v, want > 0", core, c)
 		}
 	}

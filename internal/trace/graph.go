@@ -122,7 +122,7 @@ type Graph struct {
 	ei      uint32 // current edge index within u's adjacency
 	eEnd    uint32
 	phase   int // 0 = read offsets, 1 = walk edges, 2 = vertex write
-	pcBase  uint64
+	pcBase  mem.PC
 }
 
 // GraphConfig parameterizes a GAP trace generator.
@@ -156,11 +156,11 @@ func NewGraph(cfg GraphConfig) *Graph {
 		g:        gr,
 		seed:     cfg.Seed,
 		offBase:  base,
-		nbrBase:  base + mem.Addr(align(offSize)),
-		propBase: base + mem.Addr(align(offSize)+align(nbrSize)),
-		pcBase:   0x800000 + cfg.Region*0x1000,
+		nbrBase:  base.Plus(align(offSize)),
+		propBase: base.Plus(align(offSize) + align(nbrSize)),
+		pcBase:   mem.PCOf(0x800000 + cfg.Region*0x1000),
 	}
-	g.prop2 = g.propBase + mem.Addr(align(propSize))
+	g.prop2 = g.propBase.Plus(align(propSize))
 	g.Reset()
 	return g
 }
@@ -217,7 +217,7 @@ func (g *Graph) Next() Record {
 		g.phase = 1
 		return Record{
 			PC:   g.pcBase,
-			Addr: g.offBase + mem.Addr(uint64(g.u)*4),
+			Addr: g.offBase.Plus(uint64(g.u) * 4),
 			Gap:  3,
 		}
 	case 1: // walk the adjacency list: neighbor read + property gather
@@ -238,14 +238,14 @@ func (g *Graph) Next() Record {
 			g.ei++
 			return Record{
 				PC:   g.pcBase + 8,
-				Addr: g.nbrBase + mem.Addr(uint64(g.ei-1)*4),
+				Addr: g.nbrBase.Plus(uint64(g.ei-1) * 4),
 				Gap:  1,
 			}
 		}
 		g.ei++
 		return Record{
 			PC:        g.pcBase + 16,
-			Addr:      g.propBase + mem.Addr(uint64(v)*8),
+			Addr:      g.propBase.Plus(uint64(v) * 8),
 			Dependent: g.kernel == KernelSSSP || g.kernel == KernelBC,
 			Gap:       1,
 		}
@@ -257,9 +257,9 @@ func (g *Graph) Next() Record {
 
 func (g *Graph) resultAddr(u uint32) mem.Addr {
 	if g.kernel == KernelPR || g.kernel == KernelBC {
-		return g.prop2 + mem.Addr(uint64(u)*8)
+		return g.prop2.Plus(uint64(u) * 8)
 	}
-	return g.propBase + mem.Addr(uint64(u)*8)
+	return g.propBase.Plus(uint64(u) * 8)
 }
 
 // Reset restarts the traversal from the first sweep.

@@ -39,8 +39,8 @@ func WriteTrace(w io.Writer, recs []Record) error {
 	}
 	buf := make([]byte, 18)
 	for _, rec := range recs {
-		binary.LittleEndian.PutUint64(buf[0:], rec.PC)
-		binary.LittleEndian.PutUint64(buf[8:], uint64(rec.Addr))
+		binary.LittleEndian.PutUint64(buf[0:], rec.PC.Uint64())
+		binary.LittleEndian.PutUint64(buf[8:], rec.Addr.Uint64())
 		var flags byte
 		if rec.Write {
 			flags |= flagWrite
@@ -81,8 +81,8 @@ func ReadTrace(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
 		}
 		recs = append(recs, Record{
-			PC:        binary.LittleEndian.Uint64(buf[0:]),
-			Addr:      mem.Addr(binary.LittleEndian.Uint64(buf[8:])),
+			PC:        mem.PCOf(binary.LittleEndian.Uint64(buf[0:])),
+			Addr:      mem.AddrOf(binary.LittleEndian.Uint64(buf[8:])),
 			Write:     buf[16]&flagWrite != 0,
 			Dependent: buf[16]&flagDependent != 0,
 			Gap:       buf[17],

@@ -34,7 +34,7 @@ func TestTraceRoundTripProperty(t *testing.T) {
 				fl = flags[i]
 			}
 			recs = append(recs, Record{
-				PC:        pc,
+				PC:        mem.PCOf(pc),
 				Addr:      mem.Addr(pc * 3),
 				Write:     fl&1 != 0,
 				Dependent: fl&2 != 0,

@@ -59,8 +59,8 @@ func (r *Recording) add(rec Record) {
 	if rec.Dependent {
 		k |= flagDependent
 	}
-	r.pcs = append(r.pcs, rec.PC)
-	r.addrs = append(r.addrs, uint64(rec.Addr))
+	r.pcs = append(r.pcs, rec.PC.Uint64())
+	r.addrs = append(r.addrs, rec.Addr.Uint64())
 	r.kinds = append(r.kinds, k)
 	r.gaps = append(r.gaps, rec.Gap)
 	r.instrs += uint64(rec.Gap) + 1
@@ -87,8 +87,8 @@ func (r *Recording) Instructions() uint64 { return r.instrs }
 func (r *Recording) At(i int) Record {
 	k := r.kinds[i]
 	return Record{
-		PC:        r.pcs[i],
-		Addr:      mem.Addr(r.addrs[i]),
+		PC:        mem.PCOf(r.pcs[i]),
+		Addr:      mem.AddrOf(r.addrs[i]),
 		Write:     k&flagWrite != 0,
 		Dependent: k&flagDependent != 0,
 		Gap:       r.gaps[i],
@@ -121,13 +121,13 @@ func (r *Recording) Checksum() uint64 {
 // pure function of the stream itself — the core model retires exactly
 // Gap+1 instructions per record — so a recording at budget warmup+measure
 // covers a simulation run with those phases exactly, for every scheme.
-func RecordStream(gen Generator, budget uint64) *Recording {
+func RecordStream(gen Generator, budget mem.Instr) *Recording {
 	if budget == 0 {
 		panic("trace: RecordStream requires a positive instruction budget")
 	}
 	// Typical profiles average ~3 instructions per record; pre-size the
 	// columns near that so recording does not thrash the allocator.
-	sized := budget / 3
+	sized := budget.Uint64() / 3
 	if sized > 1<<30 {
 		sized = 1 << 30
 	}
@@ -139,7 +139,7 @@ func RecordStream(gen Generator, budget uint64) *Recording {
 		kinds: make([]uint8, 0, est),
 		gaps:  make([]uint8, 0, est),
 	}
-	for rec.instrs < budget {
+	for rec.instrs < budget.Uint64() {
 		rec.add(gen.Next())
 	}
 	rec.Freeze()
@@ -195,8 +195,8 @@ func (p *Replayer) Next() Record {
 	p.i = i + 1
 	k := p.kinds[i]
 	return Record{
-		PC:        p.pcs[i],
-		Addr:      mem.Addr(p.addrs[i]) + p.offset,
+		PC:        mem.PCOf(p.pcs[i]),
+		Addr:      mem.AddrOf(p.addrs[i]) + p.offset,
 		Write:     k&flagWrite != 0,
 		Dependent: k&flagDependent != 0,
 		Gap:       p.gaps[i],

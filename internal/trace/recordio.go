@@ -117,30 +117,22 @@ func ReadRecording(r io.Reader) (*Recording, error) {
 		return nil, err
 	}
 	// A record retires at least one instruction, so count > instrs means a
-	// corrupted header; this also bounds the allocation below.
+	// corrupted header.
 	if count > instrs {
 		return nil, fmt.Errorf("%w: %d records cannot cover %d instructions", ErrBadTrace, count, instrs)
 	}
-	rec := &Recording{
-		name:  string(name),
-		pcs:   make([]uint64, count),
-		addrs: make([]uint64, count),
-		kinds: make([]uint8, count),
-		gaps:  make([]uint8, count),
+	rec := &Recording{name: string(name)}
+	if rec.pcs, err = readU64Column(br, count, "pcs column"); err != nil {
+		return nil, err
 	}
-	for _, col := range [][]uint64{rec.pcs, rec.addrs} {
-		for i := range col {
-			if _, err := io.ReadFull(br, u64[:]); err != nil {
-				return nil, fmt.Errorf("%w: truncated column: %v", ErrBadTrace, err)
-			}
-			col[i] = binary.LittleEndian.Uint64(u64[:])
-		}
+	if rec.addrs, err = readU64Column(br, count, "addrs column"); err != nil {
+		return nil, err
 	}
-	if _, err := io.ReadFull(br, rec.kinds); err != nil {
-		return nil, fmt.Errorf("%w: truncated kinds column: %v", ErrBadTrace, err)
+	if rec.kinds, err = readU8Column(br, count, "kinds column"); err != nil {
+		return nil, err
 	}
-	if _, err := io.ReadFull(br, rec.gaps); err != nil {
-		return nil, fmt.Errorf("%w: truncated gaps column: %v", ErrBadTrace, err)
+	if rec.gaps, err = readU8Column(br, count, "gaps column"); err != nil {
+		return nil, err
 	}
 	for _, g := range rec.gaps {
 		rec.instrs += uint64(g) + 1
@@ -153,6 +145,40 @@ func ReadRecording(r io.Reader) (*Recording, error) {
 	}
 	rec.Freeze()
 	return rec, nil
+}
+
+// recordingChunk caps how many records each column read allocates at once.
+// The header's count field is untrusted input: growing the columns chunk by
+// chunk lets a corrupted count hit the truncation error after at most one
+// spare chunk, instead of handing a forged 2^60 straight to make.
+const recordingChunk = 1 << 16
+
+// readU64Column reads count little-endian u64s, allocating progressively.
+func readU64Column(br *bufio.Reader, count uint64, what string) ([]uint64, error) {
+	out := make([]uint64, 0, min(count, recordingChunk))
+	var u64 [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated %s: %v", ErrBadTrace, what, err)
+		}
+		out = append(out, binary.LittleEndian.Uint64(u64[:]))
+	}
+	return out, nil
+}
+
+// readU8Column reads count bytes, allocating progressively.
+func readU8Column(br *bufio.Reader, count uint64, what string) ([]uint8, error) {
+	out := make([]uint8, 0, min(count, recordingChunk))
+	for remaining := count; remaining > 0; {
+		n := min(remaining, recordingChunk)
+		chunk := make([]uint8, n)
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, fmt.Errorf("%w: truncated %s: %v", ErrBadTrace, what, err)
+		}
+		out = append(out, chunk...)
+		remaining -= n
+	}
+	return out, nil
 }
 
 // Ensure the replayer stays a Generator (the property that lets sim/cpu

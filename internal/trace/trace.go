@@ -17,7 +17,7 @@ import (
 // Record is one memory instruction in a trace.
 type Record struct {
 	// PC is the program counter of the memory instruction.
-	PC uint64
+	PC mem.PC
 	// Addr is the accessed byte address.
 	Addr mem.Addr
 	// Write marks the access as a store.
@@ -48,7 +48,7 @@ func rng(seed uint64) *rand.Rand {
 // regionBase spaces out the address regions of distinct generators so that
 // composed workloads do not alias. Region i starts at i * 256 MiB.
 func regionBase(region uint64) mem.Addr {
-	return mem.Addr(region << 28)
+	return mem.AddrOf(region << 28)
 }
 
 // Rebased offsets every address of an inner generator by a fixed amount,
@@ -92,7 +92,7 @@ type Stream struct {
 	stride uint64 // bytes per access
 	gap    uint8
 	wfrac  float64 // fraction of accesses that are stores
-	pc     uint64
+	pc     mem.PC
 	pos    uint64
 	r      *rand.Rand
 	seed   uint64
@@ -124,7 +124,7 @@ func NewStream(cfg StreamConfig) *Stream {
 		stride: cfg.Stride,
 		gap:    cfg.Gap,
 		wfrac:  cfg.Writes,
-		pc:     0x400000 + cfg.Region*0x1000,
+		pc:     mem.PCOf(0x400000 + cfg.Region*0x1000),
 		seed:   cfg.Seed,
 	}
 	s.Reset()
@@ -135,7 +135,7 @@ func NewStream(cfg StreamConfig) *Stream {
 //
 //chromevet:hot
 func (s *Stream) Next() Record {
-	addr := s.base + mem.Addr(s.pos)
+	addr := s.base.Plus(s.pos)
 	s.pos = (s.pos + s.stride) % s.size
 	w := s.wfrac > 0 && s.r.Float64() < s.wfrac
 	pc := s.pc
@@ -170,7 +170,7 @@ type Stride struct {
 }
 
 type strideStream struct {
-	pc     uint64
+	pc     mem.PC
 	base   mem.Addr
 	size   uint64
 	stride uint64
@@ -204,8 +204,8 @@ func NewStride(cfg StrideConfig) *Stride {
 	g := &Stride{name: cfg.Name, gap: cfg.Gap, seed: cfg.Seed}
 	for i := 0; i < cfg.Streams; i++ {
 		g.init = append(g.init, strideStream{
-			pc:     0x500000 + cfg.Region*0x1000 + uint64(i)*16,
-			base:   regionBase(cfg.Region) + mem.Addr(uint64(i)*cfg.Size),
+			pc:     mem.PCOf(0x500000 + cfg.Region*0x1000 + uint64(i)*16),
+			base:   regionBase(cfg.Region).Plus(uint64(i) * cfg.Size),
 			size:   cfg.Size,
 			stride: cfg.Strides[i%len(cfg.Strides)],
 			write:  i < cfg.Writes,
@@ -221,7 +221,7 @@ func NewStride(cfg StrideConfig) *Stride {
 func (g *Stride) Next() Record {
 	st := &g.streams[g.idx]
 	g.idx = (g.idx + 1) % len(g.streams)
-	addr := st.base + mem.Addr(st.pos)
+	addr := st.base.Plus(st.pos)
 	st.pos = (st.pos + st.stride) % st.size
 	return Record{PC: st.pc, Addr: addr, Write: st.write, Gap: g.gap}
 }
@@ -251,7 +251,7 @@ type WorkingSet struct {
 	hotFrac float64
 	gap     uint8
 	wfrac   float64
-	pcs     []uint64
+	pcs     []mem.PC
 	r       *rand.Rand
 	seed    uint64
 }
@@ -291,7 +291,7 @@ func NewWorkingSet(cfg WorkingSetConfig) *WorkingSet {
 		seed:    cfg.Seed,
 	}
 	for i := 0; i < cfg.PCs; i++ {
-		g.pcs = append(g.pcs, 0x600000+cfg.Region*0x1000+uint64(i)*24)
+		g.pcs = append(g.pcs, mem.PCOf(0x600000+cfg.Region*0x1000+uint64(i)*24))
 	}
 	g.Reset()
 	return g
@@ -311,7 +311,7 @@ func (g *WorkingSet) Next() Record {
 	w := g.wfrac > 0 && g.r.Float64() < g.wfrac
 	return Record{
 		PC:    pc,
-		Addr:  g.base + mem.Addr(blk*mem.BlockSize),
+		Addr:  g.base.Plus(blk * mem.BlockSize),
 		Write: w,
 		Gap:   g.gap,
 	}
@@ -338,7 +338,7 @@ type PointerChase struct {
 	next   []uint32 // next[i] = successor node of i (single cycle)
 	cur    uint64
 	gap    uint8
-	pc     uint64
+	pc     mem.PC
 	seed   uint64
 	stride uint64 // node size in bytes
 	r      *rand.Rand
@@ -376,7 +376,7 @@ func NewPointerChase(cfg PointerChaseConfig) *PointerChase {
 		nodes:   cfg.Size / cfg.NodeSize,
 		stride:  cfg.NodeSize,
 		gap:     cfg.Gap,
-		pc:      0x700000 + cfg.Region*0x1000,
+		pc:      mem.PCOf(0x700000 + cfg.Region*0x1000),
 		seed:    cfg.Seed,
 		auxFrac: cfg.AuxFrac,
 	}
@@ -404,7 +404,7 @@ func (g *PointerChase) Next() Record {
 		return g.pending
 	}
 	g.cur = uint64(g.next[g.cur])
-	addr := g.base + mem.Addr(g.cur*g.stride)
+	addr := g.base.Plus(g.cur * g.stride)
 	if g.auxFrac > 0 && g.r.Float64() < g.auxFrac {
 		g.pending = Record{
 			PC:   g.pc + 16,

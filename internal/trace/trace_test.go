@@ -284,7 +284,7 @@ func TestStreamWriteFraction(t *testing.T) {
 
 func TestStrideStreamsUseDistinctPCs(t *testing.T) {
 	g := NewStride(StrideConfig{Name: "st", Region: 1, Streams: 4, Size: 1 << 20, Seed: 5})
-	pcs := map[uint64]bool{}
+	pcs := map[mem.PC]bool{}
 	for i := 0; i < 100; i++ {
 		pcs[g.Next().PC] = true
 	}

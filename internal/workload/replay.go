@@ -27,7 +27,7 @@ import (
 // recKey identifies one recorded stream of a profile.
 type recKey struct {
 	seed   uint64
-	budget uint64
+	budget mem.Instr
 }
 
 // profileRecordings holds the recordings of a single profile. The mutex
@@ -83,15 +83,15 @@ func GenerationTime() time.Duration {
 // given budget persists under. The name embeds the stream seed, so a
 // profile rename or seed-scheme change can never silently reuse a stale
 // file (the checksum inside the file guards the contents).
-func RecordingFileName(p Profile, budget uint64) string {
-	return fmt.Sprintf("%s-%016x-%d.chrec", p.Name, p.seed(), budget)
+func RecordingFileName(p Profile, budget mem.Instr) string {
+	return fmt.Sprintf("%s-%016x-%d.chrec", p.Name, p.seed(), budget.Uint64())
 }
 
 // Recorded returns the frozen recording of p's stream covering at least
 // budget instructions, recording (or loading) it on first use. The result
 // is immutable and safe to share across goroutines. Unknown profiles after
 // the registry froze panic, like a late register.
-func Recorded(p Profile, budget uint64) *trace.Recording {
+func Recorded(p Profile, budget mem.Instr) *trace.Recording {
 	ensureRecordings()
 	pr, ok := recordings[p.Name]
 	if !ok {
@@ -115,7 +115,7 @@ func Recorded(p Profile, budget uint64) *trace.Recording {
 // loadOrRecord fetches the recording from the trace directory when one is
 // configured and holds a valid file, falling back to recording the live
 // generator (and then persisting the result, best-effort).
-func loadOrRecord(p Profile, budget uint64) *trace.Recording {
+func loadOrRecord(p Profile, budget mem.Instr) *trace.Recording {
 	dir := ""
 	if d := traceDir.Load(); d != nil {
 		dir = *d
@@ -166,23 +166,23 @@ func writeRecordingFile(path string, rec *trace.Recording) error {
 // the given core, equivalent record-for-record to p.New(core) over the
 // first budget instructions (trace.Rebase and the replayer apply the same
 // per-core offset).
-func (p Profile) NewReplay(core int, budget uint64) trace.Generator {
-	return Recorded(p, budget).Replayer(coreSpacing * mem.Addr(core))
+func (p Profile) NewReplay(core int, budget mem.Instr) trace.Generator {
+	return Recorded(p, budget).Replayer(coreSpacing * mem.AddrOf(uint64(core)))
 }
 
 // HomogeneousReplayMix is HomogeneousMix over shared recordings: n
 // replayers of one frozen stream, one per core.
-func HomogeneousReplayMix(p Profile, n int, budget uint64) []trace.Generator {
+func HomogeneousReplayMix(p Profile, n int, budget mem.Instr) []trace.Generator {
 	rec := Recorded(p, budget)
 	gens := make([]trace.Generator, n)
 	for i := range gens {
-		gens[i] = rec.Replayer(coreSpacing * mem.Addr(i))
+		gens[i] = rec.Replayer(coreSpacing * mem.AddrOf(uint64(i)))
 	}
 	return gens
 }
 
 // ReplayGenerators is Mix.Generators over shared recordings.
-func (m Mix) ReplayGenerators(budget uint64) []trace.Generator {
+func (m Mix) ReplayGenerators(budget mem.Instr) []trace.Generator {
 	gens := make([]trace.Generator, len(m.Profiles))
 	for i, p := range m.Profiles {
 		gens[i] = p.NewReplay(i, budget)

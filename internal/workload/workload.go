@@ -44,7 +44,7 @@ const coreSpacing = mem.Addr(1) << 36
 // disjoint physical regions (multi-programmed, not shared-memory).
 func (p Profile) New(core int) trace.Generator {
 	g := p.build(profileRegion(p.Name), p.seed())
-	return trace.Rebase(g, coreSpacing*mem.Addr(core))
+	return trace.Rebase(g, coreSpacing*mem.AddrOf(uint64(core)))
 }
 
 func (p Profile) seed() uint64 { return mem.Mix64(hashName(p.Name)) }

@@ -147,7 +147,7 @@ func TestProfilesEmitPlausibleTraffic(t *testing.T) {
 		const n = 20000
 		for i := 0; i < n; i++ {
 			rec := g.Next()
-			blocks[rec.Addr.BlockNumber()] = true
+			blocks[rec.Addr.Block().Uint64()] = true
 			if rec.Write {
 				writes++
 			}
