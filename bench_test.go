@@ -305,6 +305,30 @@ func BenchmarkRecordVsReplay(b *testing.B) {
 	})
 }
 
+// BenchmarkActorLearner measures end-to-end 4-core CHROME throughput under
+// each learner path (sim_MIPS). On a single-CPU host the par mode pays the
+// channel handoff without spare cores to win it back; the honest numbers
+// still bound the protocol overhead.
+func BenchmarkActorLearner(b *testing.B) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"inline", "seq", "par"} {
+		b.Run(mode, func(b *testing.B) {
+			sc := benchScale()
+			sc.ActorLearner = mode
+			var instructions uint64
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunMixPublic(workload.HomogeneousMix(p, 4), 4,
+					experiments.CHROMEScheme(experiments.ChromeConfig()), experiments.PFDefault(), sc)
+				instructions += res.TotalInstructions.Uint64()
+			}
+			reportMIPS(b, instructions)
+		})
+	}
+}
+
 // BenchmarkEndToEnd4Core measures full-system simulation throughput
 // (instructions simulated per wall-clock second appear as the inverse of
 // ns/op x instructions).

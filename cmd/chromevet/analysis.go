@@ -67,10 +67,14 @@ type Analyzer struct {
 }
 
 // GlobalAnalyzer is a whole-program check that may load further packages.
+// Scope records which packages the check can produce findings in; the
+// suppression audit uses it to decide whether an unused allow comment for
+// the analyzer is stale.
 type GlobalAnalyzer struct {
-	Name string
-	Doc  string
-	Run  func(l *Loader, loaded []*Package) []Finding
+	Name  string
+	Doc   string
+	Scope Scope
+	Run   func(l *Loader, loaded []*Package) []Finding
 }
 
 // Pass hands one package to a per-package analyzer.
@@ -95,6 +99,9 @@ func Analyzers() []*Analyzer {
 		analyzerFrozenShare(),
 		analyzerUnits(),
 		analyzerHwWidth(),
+		analyzerSnapshotRO(),
+		analyzerMsgOwn(),
+		analyzerLearnerWrite(),
 	}
 }
 
@@ -109,18 +116,22 @@ func GlobalAnalyzers() []*GlobalAnalyzer {
 
 // RunAnalyzers applies the per-package suite to the loaded packages and the
 // global suite to the whole set, dropping findings suppressed by
-// "//chromevet:allow" comments, and returns the sorted findings.
+// "//chromevet:allow" comments, and returns the sorted findings (including
+// the suppression audit's stale/unknown-allow findings).
 func RunAnalyzers(l *Loader, pkgs []*Package) []Finding {
 	var out []Finding
 	byPath := map[string]*Package{}
 	for _, p := range pkgs {
 		byPath[p.Path] = p
 	}
+	ran := map[*Package]map[string]bool{}
 	for _, p := range pkgs {
+		ran[p] = map[string]bool{}
 		for _, a := range Analyzers() {
 			if !inScope(a.Scope, l.ModPath, p.Path) {
 				continue
 			}
+			ran[p][a.Name] = true
 			out = append(out, filterAllowed(p, a.Name, a.Run(&Pass{L: l, P: p}))...)
 		}
 	}
@@ -132,6 +143,14 @@ func RunAnalyzers(l *Loader, pkgs []*Package) []Finding {
 			}
 			out = append(out, f)
 		}
+		for _, p := range pkgs {
+			if inScope(g.Scope, l.ModPath, p.Path) {
+				ran[p][g.Name] = true
+			}
+		}
+	}
+	for _, p := range pkgs {
+		out = append(out, auditAllows(p, ran[p])...)
 	}
 	SortFindings(out)
 	return out
@@ -145,11 +164,49 @@ func RunAnalyzers(l *Loader, pkgs []*Package) []Finding {
 func RunSelfAudit(l *Loader, pkgs []*Package) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
+		ran := map[string]bool{}
 		for _, a := range Analyzers() {
+			ran[a.Name] = true
 			out = append(out, filterAllowed(p, a.Name, a.Run(&Pass{L: l, P: p}))...)
 		}
+		out = append(out, auditAllows(p, ran)...)
 	}
 	SortFindings(out)
+	return out
+}
+
+// auditAllows holds the suppression comments themselves to account: an
+// allow naming an analyzer the suite does not have is a typo that would
+// silently suppress nothing forever, and an allow whose analyzer ran over
+// the package without matching any finding is stale — the hazard it
+// justified no longer exists. Both are reported under the pseudo-analyzer
+// "allow", whose findings are deliberately unsuppressable (an allow cannot
+// waive the audit of allows).
+func auditAllows(p *Package, ran map[string]bool) []Finding {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, g := range GlobalAnalyzers() {
+		known[g.Name] = true
+	}
+	var out []Finding
+	for _, rec := range p.allowRecords {
+		switch {
+		case !known[rec.name]:
+			out = append(out, Finding{
+				Analyzer: "allow",
+				Pos:      rec.pos,
+				Message:  fmt.Sprintf("allow names unknown analyzer %q: the suppression can never match (typo?)", rec.name),
+			})
+		case !rec.used && ran[rec.name]:
+			out = append(out, Finding{
+				Analyzer: "allow",
+				Pos:      rec.pos,
+				Message:  fmt.Sprintf("stale allow: %s reported no finding on this line; delete the suppression or move it to the hazard it justifies", rec.name),
+			})
+		}
+	}
 	return out
 }
 

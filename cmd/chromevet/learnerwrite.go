@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerLearnerWrite certifies the write side of the actor/learner
+// split: methods annotated "//chromevet:learnerOnly" mutate learner state
+// (Q-table updates) and must be reachable only from the certified learner
+// entry points annotated "//chromevet:learner" (DESIGN.md §6.4). The check
+// is syntactic over the reference graph:
+//
+//   - a call to a learnerOnly function is legal only inside a function
+//     annotated learner or learnerOnly;
+//   - taking a learnerOnly function as a value (method value, assignment,
+//     argument) is legal only inside a learner function — anywhere else the
+//     mutator could escape the certified boundary;
+//   - calling or referencing a learner entry from outside its declaring
+//     package is legal only inside learner or learnerOnly code, so actors
+//     in other packages cannot invoke the learner directly.
+func analyzerLearnerWrite() *Analyzer {
+	return &Analyzer{
+		Name:  "learnerwrite",
+		Doc:   "//chromevet:learnerOnly mutators are reachable only from //chromevet:learner entry points",
+		Scope: ScopeModule,
+		Run:   runLearnerWrite,
+	}
+}
+
+func runLearnerWrite(pass *Pass) []Finding {
+	p := pass.P
+	funcs := collectLearnerFuncs(pass.L, p)
+	if len(funcs) == 0 {
+		return nil
+	}
+	var out []Finding
+
+	check := func(ann string, root ast.Node) {
+		// Identifiers in callee position: the reference is the call itself,
+		// not a value that could escape.
+		callees := map[*ast.Ident]bool{}
+		ast.Inspect(root, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun := ast.Unparen(call.Fun)
+			if ix, ok := fun.(*ast.IndexExpr); ok { // explicit generic instantiation
+				fun = ast.Unparen(ix.X)
+			}
+			switch f := fun.(type) {
+			case *ast.Ident:
+				callees[f] = true
+			case *ast.SelectorExpr:
+				callees[f.Sel] = true
+			}
+			return true
+		})
+		ast.Inspect(root, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			target, ok := funcs[fn.Origin().Pos()]
+			if !ok {
+				return true
+			}
+			report := func(format string, args ...any) {
+				out = append(out, Finding{
+					Analyzer: "learnerwrite",
+					Pos:      pass.pos(id.Pos()),
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			switch target.kind {
+			case "learnerOnly":
+				if callees[id] {
+					if ann == "" {
+						report("call to //chromevet:learnerOnly %s outside learner-certified code: only //chromevet:learner entries (and other learnerOnly mutators) may mutate learner state", target.name)
+					}
+				} else if ann != "learner" {
+					report("reference to //chromevet:learnerOnly %s as a value outside a //chromevet:learner function: the mutator could escape the certified learner", target.name)
+				}
+			case "learner":
+				if target.pkgPath != p.Path && ann == "" {
+					report("cross-package use of //chromevet:learner entry %s outside learner-certified code: actors must read snapshots, not drive the learner", target.name)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					check(funcAnnotation(d), d.Body)
+				}
+			case *ast.GenDecl:
+				check("", d)
+			}
+		}
+	}
+	return out
+}

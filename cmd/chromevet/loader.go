@@ -24,20 +24,37 @@ type Package struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
-	// allow maps file -> line -> analyzer names suppressed on that line via
+	// allow maps file -> line -> suppression records indexed on that line via
 	// "//chromevet:allow name[,name...]" comments (the comment's own line and
-	// the line below it, so both trailing and preceding placements work).
-	allow map[string]map[int]map[string]bool
+	// the line below it, so both trailing and preceding placements work). The
+	// same record backs both lines, so one match marks the comment used.
+	allow map[string]map[int][]*allowRecord
+	// allowRecords lists every record once, in source order, for the
+	// stale/unknown suppression audit.
+	allowRecords []*allowRecord
+}
+
+// allowRecord is one analyzer name carried by one "//chromevet:allow"
+// comment, plus whether any finding was actually suppressed by it. An allow
+// whose analyzer ran over the package without ever matching is stale — the
+// suppressed hazard no longer exists — and is reported like go vet's unused
+// directives, so waivers cannot silently outlive their justification.
+type allowRecord struct {
+	name string
+	pos  token.Position
+	used bool
 }
 
 // Allowed reports whether a finding of the named analyzer at pos is
-// suppressed by an allow comment.
+// suppressed by an allow comment, marking the matching record used.
 func (p *Package) Allowed(analyzer string, pos token.Position) bool {
-	lines := p.allow[pos.Filename]
-	if lines == nil {
-		return false
+	for _, rec := range p.allow[pos.Filename][pos.Line] {
+		if rec.name == analyzer {
+			rec.used = true
+			return true
+		}
 	}
-	return lines[pos.Line][analyzer]
+	return false
 }
 
 // Loader parses and type-checks packages of one module without any tooling
@@ -166,7 +183,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Files: files,
 		Pkg:   pkg,
 		Info:  info,
-		allow: map[string]map[int]map[string]bool{},
+		allow: map[string]map[int][]*allowRecord{},
 	}
 	l.collectAllows(p)
 	l.pkgs[path] = p
@@ -240,17 +257,16 @@ func (l *Loader) collectAllows(p *Package) {
 				pos := l.Fset.Position(c.Pos())
 				byLine := p.allow[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int][]*allowRecord{}
 					p.allow[pos.Filename] = byLine
 				}
 				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
 					return r == ',' || r == ' ' || r == '\t'
 				}) {
+					rec := &allowRecord{name: name, pos: pos}
+					p.allowRecords = append(p.allowRecords, rec)
 					for _, ln := range []int{pos.Line, pos.Line + 1} {
-						if byLine[ln] == nil {
-							byLine[ln] = map[string]bool{}
-						}
-						byLine[ln][name] = true
+						byLine[ln] = append(byLine[ln], rec)
 					}
 				}
 			}

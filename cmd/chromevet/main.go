@@ -33,13 +33,20 @@
 //
 //	//chromevet:allow narrowing -- value clamped to maxRD above
 //
+// The suppressions are audited in turn: an allow naming an unknown analyzer
+// or one whose analyzer reports nothing on that line (a stale waiver) is
+// itself a finding, like go vet's unused directives.
+//
 // Usage: go run ./cmd/chromevet ./...
 // Exit status is 1 when any finding is reported, 0 on a clean tree.
 // The -self flag audits chromevet's own source with every per-package
 // analyzer, scopes bypassed — the suite holds itself to its own rules.
+// The -json flag emits findings as a JSON array (file/line/column/
+// analyzer/message) for tooling such as CI annotation emitters.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "list analyzed packages")
 	self := fs.Bool("self", false, "audit chromevet's own source with every per-package analyzer, ignoring scopes")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file/line/column/analyzer/message)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,27 +105,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		if *verbose {
-			fmt.Fprintf(stdout, "chromevet: analyzing %s\n", path)
+			fmt.Fprintf(stderr, "chromevet: analyzing %s\n", path)
 		}
 		pkgs = append(pkgs, p)
 	}
 
-	findings := RunAnalyzers(loader, pkgs)
+	var findings []Finding
 	if *self {
 		findings = RunSelfAudit(loader, pkgs)
+	} else {
+		findings = RunAnalyzers(loader, pkgs)
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, cwd, findings); err != nil {
+			fmt.Fprintln(stderr, "chromevet:", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
 	}
 	for _, f := range findings {
-		rel := f.Pos.Filename
-		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
-			rel = r
-		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stdout, "chromevet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// relPath shortens a finding's filename to be cwd-relative when possible.
+func relPath(cwd, name string) string {
+	if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return name
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as a JSON array (an empty array on a clean
+// tree, so consumers can always parse stdout).
+func writeJSON(w io.Writer, cwd string, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     relPath(cwd, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // expandPatterns resolves go-style package patterns ("./...", "./internal/cache")

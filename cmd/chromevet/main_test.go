@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -84,6 +86,12 @@ func fixtureLoader(t *testing.T) *Loader {
 	l.Override("chrome/internal/vetfixture/frozenshare", filepath.Join(base, "frozenshare"))
 	l.Override("chrome/internal/vetfixture/units", filepath.Join(base, "units"))
 	l.Override("chrome/internal/vetfixture/hwwidth", filepath.Join(base, "hwwidth"))
+	l.Override("chrome/internal/vetfixture/snappub", filepath.Join(base, "snapshotro", "pub"))
+	l.Override("chrome/internal/vetfixture/snapshotro", filepath.Join(base, "snapshotro"))
+	l.Override("chrome/internal/vetfixture/msgown", filepath.Join(base, "msgown"))
+	l.Override("chrome/internal/vetfixture/learnerext", filepath.Join(base, "learnerwrite", "ext"))
+	l.Override("chrome/internal/vetfixture/learnerwrite", filepath.Join(base, "learnerwrite"))
+	l.Override("chrome/internal/vetfixture/allowedge", filepath.Join(base, "allowedge"))
 	return l
 }
 
@@ -95,31 +103,57 @@ func TestFixtures(t *testing.T) {
 	l := fixtureLoader(t)
 	base := filepath.Join(repoRoot(t), "cmd", "chromevet", "testdata", "src")
 	cases := []struct {
-		name string // fixture dir and intended analyzer
-		path string // import path the fixture is loaded under
-		dirs []string
+		name      string   // fixture dir and intended analyzer
+		paths     []string // import paths loaded and analyzed together
+		dirs      []string // fixture dirs holding want comments
+		analyzers []string // analyzer names want comments may use (default: {name})
 	}{
-		{"maprange", "chrome/internal/sim/vetfixture", []string{"maprange"}},
-		{"globalrand", "chrome/internal/vetfixture/globalrand", []string{"globalrand"}},
-		{"walltime", "chrome/internal/vetfixture/walltime", []string{"walltime"}},
-		{"narrowing", "chrome/internal/vetfixture/narrowing", []string{"narrowing"}},
-		{"floateq", "chrome/internal/vetfixture/floateq", []string{"floateq"}},
-		{"policyreg", "chrome/internal/policy", []string{filepath.Join("policyreg", "policy")}},
-		{"globalmut", "chrome/internal/vetfixture/globalmut", []string{"globalmut"}},
-		{"aliasshare", "chrome/internal/policy/parfixture", []string{"aliasshare"}},
-		{"concprim", "chrome/internal/cache/parfixture", []string{"concprim"}},
-		{"hotalloc", "chrome/internal/vetfixture/hotalloc", []string{"hotalloc"}},
-		{"frozenshare", "chrome/internal/vetfixture/frozenshare", []string{"frozenshare"}},
-		{"units", "chrome/internal/vetfixture/units", []string{"units"}},
-		{"hwwidth", "chrome/internal/vetfixture/hwwidth", []string{"hwwidth"}},
+		{name: "maprange", paths: []string{"chrome/internal/sim/vetfixture"}, dirs: []string{"maprange"}},
+		{name: "globalrand", paths: []string{"chrome/internal/vetfixture/globalrand"}, dirs: []string{"globalrand"}},
+		{name: "walltime", paths: []string{"chrome/internal/vetfixture/walltime"}, dirs: []string{"walltime"}},
+		{name: "narrowing", paths: []string{"chrome/internal/vetfixture/narrowing"}, dirs: []string{"narrowing"}},
+		{name: "floateq", paths: []string{"chrome/internal/vetfixture/floateq"}, dirs: []string{"floateq"}},
+		{name: "policyreg", paths: []string{"chrome/internal/policy"}, dirs: []string{filepath.Join("policyreg", "policy")}},
+		{name: "globalmut", paths: []string{"chrome/internal/vetfixture/globalmut"}, dirs: []string{"globalmut"}},
+		{name: "aliasshare", paths: []string{"chrome/internal/policy/parfixture"}, dirs: []string{"aliasshare"}},
+		{name: "concprim", paths: []string{"chrome/internal/cache/parfixture"}, dirs: []string{"concprim"}},
+		{name: "hotalloc", paths: []string{"chrome/internal/vetfixture/hotalloc"}, dirs: []string{"hotalloc"}},
+		{name: "frozenshare", paths: []string{"chrome/internal/vetfixture/frozenshare"}, dirs: []string{"frozenshare"}},
+		{name: "units", paths: []string{"chrome/internal/vetfixture/units"}, dirs: []string{"units"}},
+		{name: "hwwidth", paths: []string{"chrome/internal/vetfixture/hwwidth"}, dirs: []string{"hwwidth"}},
+		// The publishing package is analyzed alongside the consumer: its
+		// learner-certified writes must stay clean, which is the exemption
+		// half of the snapshotro contract. The mutating-method case also
+		// trips learnerwrite, deliberately.
+		{name: "snapshotro",
+			paths:     []string{"chrome/internal/vetfixture/snappub", "chrome/internal/vetfixture/snapshotro"},
+			dirs:      []string{"snapshotro", filepath.Join("snapshotro", "pub")},
+			analyzers: []string{"snapshotro", "learnerwrite"}},
+		{name: "msgown", paths: []string{"chrome/internal/vetfixture/msgown"}, dirs: []string{"msgown"}},
+		{name: "learnerwrite",
+			paths: []string{"chrome/internal/vetfixture/learnerext", "chrome/internal/vetfixture/learnerwrite"},
+			dirs:  []string{"learnerwrite", filepath.Join("learnerwrite", "ext")}},
+		// The suppression audit: misplaced and typo'd allows are findings of
+		// the pseudo-analyzer "allow"; the hazards they fail to cover
+		// surface as ordinary narrowing findings.
+		{name: "allowedge", paths: []string{"chrome/internal/vetfixture/allowedge"}, dirs: []string{"allowedge"},
+			analyzers: []string{"narrowing", "allow"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			pkg, err := l.Load(tc.path)
-			if err != nil {
-				t.Fatalf("loading fixture %s: %v", tc.name, err)
+			allowed := map[string]bool{tc.name: true}
+			for _, a := range tc.analyzers {
+				allowed[a] = true
 			}
-			findings := RunAnalyzers(l, []*Package{pkg})
+			var pkgs []*Package
+			for _, path := range tc.paths {
+				pkg, err := l.Load(path)
+				if err != nil {
+					t.Fatalf("loading fixture %s: %v", tc.name, err)
+				}
+				pkgs = append(pkgs, pkg)
+			}
+			findings := RunAnalyzers(l, pkgs)
 
 			var wants []want
 			for _, d := range tc.dirs {
@@ -131,7 +165,7 @@ func TestFixtures(t *testing.T) {
 
 			matched := make([]bool, len(findings))
 			for _, w := range wants {
-				if w.analyzer != tc.name {
+				if !allowed[w.analyzer] {
 					t.Errorf("%s:%d: want comment names analyzer %q, fixture is for %q",
 						w.file, w.line, w.analyzer, tc.name)
 					continue
@@ -173,7 +207,8 @@ func TestAllowSuppression(t *testing.T) {
 	}
 	// The clamped() helper converts an unbounded-looking uint64; the only
 	// thing keeping it quiet is the allow comment.
-	pkg.allow = map[string]map[int]map[string]bool{}
+	pkg.allow = map[string]map[int][]*allowRecord{}
+	pkg.allowRecords = nil
 	findings := RunAnalyzers(l, []*Package{pkg})
 	found := false
 	for _, f := range findings {
@@ -269,6 +304,37 @@ func TestExpandPatterns(t *testing.T) {
 	}
 	if len(single) != 1 || single[0] != "chrome/internal/cache" {
 		t.Errorf("single-dir pattern: got %v", single)
+	}
+}
+
+// TestWriteJSON pins the -json wire format CI's annotation step parses:
+// cwd-relative file paths, 1-based line/column, and an empty (non-null)
+// array on a clean tree.
+func TestWriteJSON(t *testing.T) {
+	findings := []Finding{{
+		Analyzer: "narrowing",
+		Pos:      token.Position{Filename: "/work/repo/internal/sim/clock.go", Line: 3, Column: 7},
+		Message:  "uint8(...) narrows",
+	}}
+	var buf strings.Builder
+	if err := writeJSON(&buf, "/work/repo", findings); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	want := []jsonFinding{{File: "internal/sim/clock.go", Line: 3, Column: 7, Analyzer: "narrowing", Message: "uint8(...) narrows"}}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("writeJSON = %+v, want %+v", got, want)
+	}
+
+	buf.Reset()
+	if err := writeJSON(&buf, "/work/repo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("clean tree should emit an empty array, got %q", buf.String())
 	}
 }
 

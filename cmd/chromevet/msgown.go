@@ -1,0 +1,254 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// analyzerMsgOwn certifies the handoff side of the actor/learner split:
+// a channel declared with "//chromevet:transfer" moves ownership of each
+// sent value to the receiver (DESIGN.md §6.4). A value whose type carries
+// mutable references (slice, map, pointer, ...) must therefore not be
+// touched by the sender after the send — neither below the send statement
+// nor, when the send sits in a loop, at the top of the next iteration —
+// until the variable is wholly reassigned. Plain value types transfer by
+// copy and need no discipline.
+func analyzerMsgOwn() *Analyzer {
+	return &Analyzer{
+		Name:  "msgown",
+		Doc:   "values sent on //chromevet:transfer channels are not reused after the send",
+		Scope: ScopeInternal,
+		Run:   runMsgOwn,
+	}
+}
+
+func runMsgOwn(pass *Pass) []Finding {
+	chans := collectTransferChans(pass.L, pass.P)
+	if len(chans) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pass.P.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkMsgOwnFunc(pass, chans, fd)...)
+		}
+	}
+	return out
+}
+
+// collectTransferChans gathers the module's channel declarations annotated
+// "//chromevet:transfer" — struct fields and var declarations — keyed by
+// the declaring identifier's position (stable across generic
+// instantiation).
+func collectTransferChans(l *Loader, p *Package) map[token.Pos]string {
+	const directive = "//chromevet:transfer"
+	out := map[token.Pos]string{}
+	for _, q := range modulePackages(l, p) {
+		for _, f := range q.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.StructType:
+					for _, fld := range d.Fields.List {
+						if !hasDirective(fld.Doc, directive) && !hasDirective(fld.Comment, directive) {
+							continue
+						}
+						for _, name := range fld.Names {
+							out[name.Pos()] = name.Name
+						}
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.VAR {
+						return true
+					}
+					declAnnotated := hasDirective(d.Doc, directive)
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						if declAnnotated || hasDirective(vs.Doc, directive) || hasDirective(vs.Comment, directive) {
+							for _, name := range vs.Names {
+								out[name.Pos()] = name.Name
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// transferTarget resolves a send statement's channel expression to a
+// transfer-annotated declaration, returning its display name.
+func transferTarget(p *Package, chans map[token.Pos]string, ch ast.Expr) (string, bool) {
+	switch x := ast.Unparen(ch).(type) {
+	case *ast.Ident:
+		if obj := p.Info.ObjectOf(x); obj != nil {
+			if name, ok := chans[obj.Pos()]; ok {
+				return name, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := p.Info.Uses[x.Sel]; ok {
+			if name, ok := chans[obj.Pos()]; ok {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// ownEvent is one occurrence of an alias of a transferred value: a read
+// (use) or a whole-variable reassignment (kill). Kills are stamped at the
+// statement's end so right-hand-side reads of the same statement order
+// before them (`v = append(v, x)` reads v before rebinding it).
+type ownEvent struct {
+	pos  token.Pos
+	kill bool
+	v    *types.Var
+	at   ast.Node
+}
+
+func checkMsgOwnFunc(pass *Pass, chans map[token.Pos]string, fd *ast.FuncDecl) []Finding {
+	p := pass.P
+
+	type sendSite struct {
+		send   *ast.SendStmt
+		chName string
+		loop   ast.Node // innermost enclosing for/range statement
+	}
+	var sends []sendSite
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if s, ok := n.(*ast.SendStmt); ok {
+			if name, ok := transferTarget(p, chans, s.Chan); ok {
+				var loop ast.Node
+				for i := len(stack) - 2; i >= 0 && loop == nil; i-- {
+					switch stack[i].(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						loop = stack[i]
+					case *ast.FuncLit:
+						i = -1 // a send inside a closure does not wrap the outer loop
+					}
+				}
+				sends = append(sends, sendSite{send: s, chName: name, loop: loop})
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, site := range sends {
+		root := rootIdent(site.send.Value)
+		if root == nil || !mutableRef(p.Info.TypeOf(site.send.Value)) {
+			continue // transferred by value: nothing the sender can corrupt
+		}
+		rv, ok := p.Info.ObjectOf(root).(*types.Var)
+		if !ok {
+			continue
+		}
+
+		// Aliases established before the send share the transferred backing
+		// memory: one forward pass over whole-identifier copies.
+		aliases := map[*types.Var]bool{rv: true}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			s, ok := n.(*ast.AssignStmt)
+			if !ok || s.Pos() >= site.send.Pos() || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lv, ok := p.Info.ObjectOf(lid).(*types.Var)
+				if !ok {
+					continue
+				}
+				rid, isIdent := ast.Unparen(s.Rhs[i]).(*ast.Ident)
+				if isIdent {
+					if rvv, ok := p.Info.ObjectOf(rid).(*types.Var); ok && aliases[rvv] && mutableRef(lv.Type()) {
+						aliases[lv] = true
+						continue
+					}
+				}
+				if aliases[lv] && lv != rv {
+					delete(aliases, lv) // rebound away before the send
+				}
+			}
+			return true
+		})
+
+		events := collectOwnEvents(p, fd, aliases, site.send)
+		reportFirstUse := func(lo, hi token.Pos, format string) {
+			decided := map[*types.Var]bool{}
+			for _, ev := range events {
+				if ev.pos < lo || ev.pos >= hi || decided[ev.v] {
+					continue
+				}
+				decided[ev.v] = true
+				if !ev.kill {
+					out = append(out, Finding{
+						Analyzer: "msgown",
+						Pos:      pass.pos(ev.at.Pos()),
+						Message:  fmt.Sprintf(format, ev.v.Name(), site.chName),
+					})
+				}
+			}
+		}
+		reportFirstUse(site.send.End(), fd.Body.End(),
+			"%q is used after being sent on //chromevet:transfer channel %s: ownership moved to the receiver; reassign the variable before reusing it")
+		if site.loop != nil {
+			reportFirstUse(site.loop.Pos(), site.send.Pos(),
+				"%q is reused on the next loop iteration after being sent on //chromevet:transfer channel %s: reset the variable before refilling it")
+		}
+	}
+	return out
+}
+
+// collectOwnEvents walks the function body once, recording every use and
+// whole-variable reassignment of the alias set, in source order. Identifiers
+// inside the send statement itself are the transfer, not a reuse.
+func collectOwnEvents(p *Package, fd *ast.FuncDecl, aliases map[*types.Var]bool, send *ast.SendStmt) []ownEvent {
+	var events []ownEvent
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v, ok := p.Info.ObjectOf(id).(*types.Var); ok && aliases[v] {
+					skip[id] = true
+					events = append(events, ownEvent{pos: x.End(), kill: true, v: v, at: x})
+				}
+			}
+		case *ast.Ident:
+			if skip[x] || (x.Pos() >= send.Pos() && x.Pos() < send.End()) {
+				return true
+			}
+			if v, ok := p.Info.Uses[x].(*types.Var); ok && aliases[v] {
+				events = append(events, ownEvent{pos: x.Pos(), v: v, at: x})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerSnapshotRO certifies the read side of the actor/learner split:
+// a type annotated "//chromevet:snapshot" is an epoch-published immutable
+// view (DESIGN.md §6.4), and once published nothing may store through it —
+// not into its fields, not into any slice/map/pointer reached from it, and
+// not by handing an interior reference to a callee that stores through its
+// parameter (interprocedurally, via mutation summaries). Only functions
+// annotated //chromevet:learner or //chromevet:learnerOnly in the type's
+// own declaring package may write, which is where construction before the
+// publish happens.
+func analyzerSnapshotRO() *Analyzer {
+	return &Analyzer{
+		Name:  "snapshotro",
+		Doc:   "types marked //chromevet:snapshot are deep-read-only outside learner-certified code",
+		Scope: ScopeModule,
+		Run:   runSnapshotRO,
+	}
+}
+
+func runSnapshotRO(pass *Pass) []Finding {
+	snaps := collectAnnotatedTypes(pass.L, pass.P, "//chromevet:snapshot")
+	if len(snaps) == 0 {
+		return nil
+	}
+	ms := newMutsum(pass.L)
+	var out []Finding
+	for _, f := range pass.P.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkSnapshotFunc(pass, ms, snaps, fd)...)
+		}
+	}
+	return out
+}
+
+func checkSnapshotFunc(pass *Pass, ms *mutsum, snaps map[token.Pos]annotatedType, fd *ast.FuncDecl) []Finding {
+	p := pass.P
+	ann := funcAnnotation(fd)
+
+	isSnap := func(t types.Type) (annotatedType, bool) {
+		pos, ok := namedDeclPos(t)
+		if !ok {
+			return annotatedType{}, false
+		}
+		at, ok := snaps[pos]
+		return at, ok
+	}
+
+	// taint holds local reference-typed variables that alias snapshot
+	// interior memory (`rows := snap.Partials`), mapped to the snapshot
+	// type they were reached from.
+	taint := map[*types.Var]annotatedType{}
+
+	// derived reports whether an expression evaluates to a snapshot value
+	// or to memory reachable from one, walking selector/index/deref chains
+	// down to a snapshot-typed sub-expression or a tainted variable.
+	var derived func(e ast.Expr) (annotatedType, bool)
+	derived = func(e ast.Expr) (annotatedType, bool) {
+		e = ast.Unparen(e)
+		if at, ok := isSnap(p.Info.TypeOf(e)); ok {
+			return at, true
+		}
+		switch x := e.(type) {
+		case *ast.Ident:
+			if v, ok := p.Info.ObjectOf(x).(*types.Var); ok {
+				if at, ok := taint[v]; ok {
+					return at, true
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := p.Info.ObjectOf(id).(*types.PkgName); isPkg {
+					return annotatedType{}, false
+				}
+			}
+			return derived(x.X)
+		case *ast.IndexExpr:
+			return derived(x.X)
+		case *ast.SliceExpr:
+			return derived(x.X)
+		case *ast.StarExpr:
+			return derived(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				return derived(x.X)
+			}
+		}
+		return annotatedType{}, false
+	}
+
+	// Propagate aliases to a fixpoint: a loop body may copy a reference out
+	// of the snapshot below the statement that later stores through it.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, ok := p.Info.ObjectOf(id).(*types.Var)
+					if !ok || !mutableRef(v.Type()) {
+						continue
+					}
+					if at, ok := derived(s.Rhs[i]); ok {
+						if _, seen := taint[v]; !seen {
+							taint[v] = at
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				at, ok := derived(s.X)
+				if !ok {
+					return true
+				}
+				if id, ok := s.Value.(*ast.Ident); ok {
+					if v, ok := p.Info.ObjectOf(id).(*types.Var); ok && mutableRef(v.Type()) {
+						if _, seen := taint[v]; !seen {
+							taint[v] = at
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	report := func(at annotatedType, n ast.Node, format string, args ...any) {
+		// The declaring package's learner-certified code may write: that is
+		// where the snapshot is built before the publish makes it immutable.
+		if ann != "" && at.pkgPath == p.Path {
+			return
+		}
+		out = append(out, Finding{
+			Analyzer: "snapshotro",
+			Pos:      pass.pos(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	checkStore := func(lv ast.Expr, n ast.Node) {
+		// Rebinding a variable that holds a snapshot is fine (that is how a
+		// new epoch is adopted); writing through one is not, so only
+		// projected lvalues are stores into snapshot memory.
+		switch x := ast.Unparen(lv).(type) {
+		case *ast.SelectorExpr:
+			if at, ok := derived(x.X); ok {
+				report(at, n, "store into //chromevet:snapshot type %s: published snapshots are deep-read-only outside learner-certified code in %s", at.name, at.pkgPath)
+			}
+		case *ast.IndexExpr:
+			if at, ok := derived(x.X); ok {
+				report(at, n, "store into memory reached from //chromevet:snapshot type %s: published snapshots are deep-read-only outside learner-certified code in %s", at.name, at.pkgPath)
+			}
+		case *ast.StarExpr:
+			if at, ok := derived(x.X); ok {
+				report(at, n, "store through a pointer into //chromevet:snapshot type %s: published snapshots are deep-read-only outside learner-certified code in %s", at.name, at.pkgPath)
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkStore(lhs, s)
+			}
+		case *ast.IncDecStmt:
+			checkStore(s.X, s)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "copy", "append", "clear":
+						if len(s.Args) > 0 && mutableRef(p.Info.TypeOf(s.Args[0])) {
+							if at, ok := derived(s.Args[0]); ok {
+								report(at, s, "%s writes through memory reached from //chromevet:snapshot type %s: published snapshots are deep-read-only", id.Name, at.name)
+							}
+						}
+					}
+					return true
+				}
+			}
+			callee := calleeOf(p, s)
+			if callee == nil {
+				return true
+			}
+			cs := ms.summaryFor(callee)
+			if cs == nil {
+				return true
+			}
+			for j, arg := range s.Args {
+				if !mutableRef(p.Info.TypeOf(arg)) {
+					continue
+				}
+				at, ok := derived(arg)
+				if !ok {
+					continue
+				}
+				k := j
+				if k >= len(cs.params) {
+					k = len(cs.params) - 1 // variadic tail
+				}
+				if k >= 0 && cs.params[k] {
+					report(at, arg, "passes memory reached from //chromevet:snapshot type %s to %s, which stores through that parameter", at.name, callee.Name())
+				}
+			}
+			if cs.recv {
+				if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+					if at, ok := derived(sel.X); ok {
+						report(at, s, "calls %s, which mutates its receiver, on //chromevet:snapshot type %s", callee.Name(), at.name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -16,9 +16,10 @@ import (
 // reproduces — exactly the kind of gap review misses.
 func analyzerPolicyReg() *GlobalAnalyzer {
 	return &GlobalAnalyzer{
-		Name: "policyreg",
-		Doc:  "every concrete cache.Policy has a registered, referenced constructor",
-		Run:  runPolicyReg,
+		Name:  "policyreg",
+		Doc:   "every concrete cache.Policy has a registered, referenced constructor",
+		Scope: ScopeInternal,
+		Run:   runPolicyReg,
 	}
 }
 
@@ -115,9 +116,10 @@ func runPolicyReg(l *Loader, loaded []*Package) []Finding {
 // loads in tests use override mappings and never see the real module root).
 func analyzerFixtures() *GlobalAnalyzer {
 	return &GlobalAnalyzer{
-		Name: "fixtures",
-		Doc:  "every analyzer has a testdata fixture",
-		Run:  runFixtures,
+		Name:  "fixtures",
+		Doc:   "every analyzer has a testdata fixture",
+		Scope: ScopeModule,
+		Run:   runFixtures,
 	}
 }
 

@@ -1,0 +1,26 @@
+// Package learnerext is the declaring side of the learnerwrite fixture:
+// a mutating learnerOnly method and the certified learner entry that
+// drives it. Analyzed together with the consuming fixture and must stay
+// clean — learner-certified code may compose mutators freely.
+package learnerext
+
+// Table accumulates learner state.
+type Table struct {
+	Vals []float64
+}
+
+// Update is the mutating step.
+//
+//chromevet:learnerOnly
+func (t *Table) Update(i int, v float64) {
+	t.Vals[i] += v
+}
+
+// Drain is the certified learner entry.
+//
+//chromevet:learner
+func Drain(t *Table, vs []float64) {
+	for i, v := range vs {
+		t.Update(i, v)
+	}
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the learnerwrite analyzer: learnerOnly
+// mutators may be called only from learner-certified code, may be taken as
+// values only inside learner entries, and learner entries themselves may
+// not be driven from other packages' uncertified code.
+package fixture
+
+import learnerext "chrome/internal/vetfixture/learnerext"
+
+// rogue mutates learner state from uncertified code.
+func rogue(t *learnerext.Table) {
+	t.Update(0, 1) // want learnerwrite "call to //chromevet:learnerOnly Table.Update"
+}
+
+// escape leaks the mutator as a value from uncertified code.
+func escape(t *learnerext.Table) func(int, float64) {
+	return t.Update // want learnerwrite "reference to //chromevet:learnerOnly Table.Update as a value"
+}
+
+// driver invokes the learner entry from another package's uncertified code.
+func driver(t *learnerext.Table, vs []float64) {
+	learnerext.Drain(t, vs) // want learnerwrite "cross-package use of //chromevet:learner entry Drain"
+}
+
+// applyAll is certified, so the entry call, the mutator call, and even the
+// method value are all legal here.
+//
+//chromevet:learner
+func applyAll(t *learnerext.Table, vs []float64) {
+	learnerext.Drain(t, vs)
+	t.Update(0, vs[0])
+	f := t.Update
+	f(1, vs[0])
+}
+
+// step shows learnerOnly helpers may compose mutators, but taking the
+// method value still requires a learner entry.
+//
+//chromevet:learnerOnly
+func step(t *learnerext.Table, v float64) {
+	t.Update(0, v)
+	g := t.Update // want learnerwrite "reference to //chromevet:learnerOnly Table.Update as a value"
+	g(1, v)
+}
+
+var _ = []any{rogue, escape, driver}

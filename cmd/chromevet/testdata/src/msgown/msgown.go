@@ -1,0 +1,83 @@
+// Package fixture exercises the msgown analyzer: a value sent on a
+// //chromevet:transfer channel belongs to the receiver afterwards, so the
+// sender must not touch it (or any alias of it) again — below the send, or
+// on the next loop iteration — until the variable is wholly reassigned.
+package fixture
+
+// batcher carries one annotated transfer channel and one ordinary channel
+// as the negative control.
+type batcher struct {
+	//chromevet:transfer
+	out  chan []int
+	note chan []int
+}
+
+// afterSend touches the buffer below the send.
+func afterSend(b *batcher, buf []int) {
+	b.out <- buf
+	buf[0] = 1 // want msgown "used after being sent on //chromevet:transfer channel out"
+}
+
+// afterSendOK reassigns first: the old backing now belongs to the receiver
+// and the variable holds fresh memory.
+func afterSendOK(b *batcher, buf []int) {
+	b.out <- buf
+	buf = make([]int, 4)
+	buf[0] = 1
+	_ = buf
+}
+
+// aliasUse reuses the sent buffer through an alias taken before the send.
+func aliasUse(b *batcher, buf []int) {
+	alias := buf
+	b.out <- buf
+	alias[0] = 2 // want msgown "used after being sent on //chromevet:transfer channel out"
+}
+
+// loopReuse appends into the sent buffer on the next iteration.
+func loopReuse(b *batcher) {
+	buf := make([]int, 0, 8)
+	for i := 0; i < 4; i++ {
+		buf = append(buf, i) // want msgown "reused on the next loop iteration"
+		b.out <- buf
+	}
+}
+
+// loopResetOK resets the variable at the top of the loop before refilling.
+func loopResetOK(b *batcher) {
+	var buf []int
+	for i := 0; i < 4; i++ {
+		buf = nil
+		buf = append(buf, i)
+		b.out <- buf
+	}
+}
+
+// localDecl covers transfer annotations on local variable declarations.
+func localDecl(buf []int) {
+	//chromevet:transfer
+	var out chan []int
+	out <- buf
+	buf[0] = 4 // want msgown "used after being sent on //chromevet:transfer channel out"
+}
+
+// valueSend is the negative case: an int transfers by copy, so reuse is
+// harmless.
+func valueSend(c *counter, v int) {
+	c.vals <- v
+	_ = v + 1
+}
+
+type counter struct {
+	//chromevet:transfer
+	vals chan int
+}
+
+// plainChan is the negative control: the note channel carries no transfer
+// annotation, so the sender may keep the buffer.
+func plainChan(b *batcher, buf []int) {
+	b.note <- buf
+	buf[0] = 3
+}
+
+var _ = []any{afterSend, afterSendOK, aliasUse, loopReuse, loopResetOK, localDecl, valueSend, plainChan}

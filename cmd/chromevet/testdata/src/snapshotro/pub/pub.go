@@ -1,0 +1,33 @@
+// Package snappub is the publishing side of the snapshotro fixture: it
+// declares the annotated snapshot type and the learner-certified code that
+// is allowed to build and mutate it before the publish. This package is
+// analyzed together with the consuming fixture and must stay clean — the
+// learner exemption is exactly what it exercises.
+package snappub
+
+// Table is the epoch-published learner view.
+//
+//chromevet:snapshot
+type Table struct {
+	Rows  [][]int16
+	Epoch uint64
+}
+
+// Publish builds a fresh snapshot; as certified learner code in the
+// declaring package it may write through the snapshot type.
+//
+//chromevet:learner
+func Publish(rows [][]int16, epoch uint64) *Table {
+	t := &Table{Rows: rows}
+	t.Epoch = epoch
+	return t
+}
+
+// Bump is a mutating method on the snapshot; callable only from learner
+// code, and flagged by snapshotro when invoked on a published snapshot
+// outside this package.
+//
+//chromevet:learnerOnly
+func (t *Table) Bump() {
+	t.Epoch++
+}

@@ -1,0 +1,73 @@
+// Package fixture exercises the snapshotro analyzer: code outside the
+// publishing package holding a //chromevet:snapshot value may read it
+// freely but must not store through it — directly, through an alias,
+// through a range variable, through a builtin, or by handing an interior
+// reference to a callee that writes.
+package fixture
+
+import snappub "chrome/internal/vetfixture/snappub"
+
+// directField writes a snapshot field.
+func directField(t *snappub.Table) {
+	t.Epoch = 9 // want snapshotro "store into //chromevet:snapshot type Table"
+}
+
+// deepElem writes an element two levels down.
+func deepElem(t *snappub.Table) {
+	t.Rows[0][1] = 3 // want snapshotro "memory reached from //chromevet:snapshot type Table"
+}
+
+// viaAlias copies an interior slice out first; the backing store is shared.
+func viaAlias(t *snappub.Table) {
+	rows := t.Rows
+	rows[0] = nil // want snapshotro "memory reached from //chromevet:snapshot type Table"
+}
+
+// viaRange writes through a range value aliasing the snapshot interior.
+func viaRange(t *snappub.Table) {
+	for _, row := range t.Rows {
+		row[0] = 1 // want snapshotro "memory reached from //chromevet:snapshot type Table"
+	}
+}
+
+// viaCopy writes through the builtin copy.
+func viaCopy(t *snappub.Table, src []int16) {
+	copy(t.Rows[0], src) // want snapshotro "copy writes through memory reached from"
+}
+
+// viaCallee leaks an interior reference to a function that stores into it.
+func viaCallee(t *snappub.Table) {
+	scrub(t.Rows[0]) // want snapshotro "stores through that parameter"
+}
+
+func scrub(row []int16) {
+	row[0] = 0
+}
+
+// viaMethod calls a mutating method on the snapshot; the receiver write is
+// a snapshotro hazard and the learnerOnly call a learnerwrite one.
+func viaMethod(t *snappub.Table) {
+	t.Bump() // want snapshotro "mutates its receiver" // want learnerwrite "call to //chromevet:learnerOnly Table.Bump"
+}
+
+// readsAreFine is the negative case: arbitrary reads, including interior
+// aliases that are never stored through, are legal.
+func readsAreFine(t *snappub.Table) int16 {
+	var sum int16
+	rows := t.Rows
+	for _, row := range rows {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// rebindIsFine is the negative case: copying the snapshot pointer itself
+// (adopting an epoch) is how actors are supposed to use it.
+func rebindIsFine(t *snappub.Table) *snappub.Table {
+	u := t
+	return u
+}
+
+var _ = []any{directField, deepElem, viaAlias, viaRange, viaCopy, viaCallee, viaMethod, readsAreFine, rebindIsFine}

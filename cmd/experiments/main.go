@@ -45,6 +45,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		replay   = flag.Bool("replay", true, "record each workload stream once and replay it across schemes and cells")
 		traceDir = flag.String("tracedir", "", "persist recordings to this directory and reuse them across runs (implies -replay)")
+		actorAL  = flag.String("actorlearner", "inline", "CHROME update path: inline | seq | par (seq and par are byte-identical at equal seeds)")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -101,6 +102,13 @@ func main() {
 	}
 	sc.Parallelism = *jobs
 	sc.NoReplay = !*replay && *traceDir == ""
+	switch *actorAL {
+	case "inline", "seq", "par":
+		sc.ActorLearner = *actorAL
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -actorlearner mode %q (want inline, seq or par)\n", *actorAL)
+		os.Exit(2)
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "tracedir:", err)

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"chrome/internal/cache"
+	"chrome/internal/chrome/parallel"
 	"chrome/internal/mem"
 	"chrome/internal/policy"
 )
@@ -22,6 +23,7 @@ type Agent struct {
 	sampler policy.Sampler
 	rng     *rand.Rand
 	ext     *extractor
+	al      *alState
 
 	// Obstructed reports whether a core is currently LLC-obstructed; wired
 	// to the camat.Monitor by the simulator. Nil (or ConcurrencyAware
@@ -89,6 +91,114 @@ func New(cfg Config, sets, ways int) *Agent {
 		a.epv[s] = make([]uint8, ways)
 	}
 	return a
+}
+
+// alState carries the actor/learner wiring of an agent; nil in classic
+// inline mode.
+type alState struct {
+	mode LearnerMode
+	core *LearnerCore
+	par  *parallel.Learner[Experience, Snapshot]
+	// current is the epoch-frozen snapshot every actor decision reads.
+	current *Snapshot
+	batch   []Experience
+	// emitted counts experiences since the last epoch boundary.
+	emitted  int
+	epochLen int
+	batchCap int
+	closed   bool
+	// actorRNG drives ε-greedy exploration per simulated core, decoupled
+	// from the learner's stochastic-rounding stream so actors need no
+	// access to learner state.
+	actorRNG [maxCores]*rand.Rand
+}
+
+// SetLearner switches the agent from the classic inline SARSA update to
+// the actor/learner split (DESIGN.md §6.4). It must be called before the
+// first simulated access; LearnerInline is a no-op. In LearnerPar mode the
+// caller must Close the agent after the run before reading Q-table state.
+func (a *Agent) SetLearner(mode LearnerMode) {
+	if mode == LearnerInline {
+		return
+	}
+	if a.al != nil {
+		panic("chrome: SetLearner called twice")
+	}
+	if a.stats.Decisions != 0 {
+		panic("chrome: SetLearner must be called before simulation starts")
+	}
+	al := &alState{
+		mode:     mode,
+		core:     newLearnerCore(a.qt, a.cfg),
+		epochLen: a.cfg.epochUpdates(),
+		batchCap: a.cfg.actorBatch(),
+	}
+	for c := range al.actorRNG {
+		al.actorRNG[c] = rand.New(rand.NewPCG(
+			a.cfg.Seed^uint64(c)<<1,
+			mem.Mix64(a.cfg.Seed^0xAC7EC0DE^uint64(c)),
+		))
+	}
+	if mode == LearnerPar {
+		lc := al.core
+		al.par = parallel.New(lc.Apply, lc.Publish, al.batchCap)
+		al.batch = al.par.NewBatch()
+		al.current = al.par.Current()
+	} else {
+		al.current = al.core.Publish()
+	}
+	a.al = al
+}
+
+// emit hands one experience to the learner and advances the epoch clock,
+// adopting the freshly published snapshot at each boundary. Sequential and
+// parallel mode feed the same experiences to the same LearnerCore in the
+// same order, so the published snapshots — and every decision made from
+// them — are bit-identical between the two.
+func (a *Agent) emit(e Experience) {
+	al := a.al
+	if al.mode == LearnerSeq {
+		al.core.Apply(e)
+	} else {
+		al.batch = append(al.batch, e)
+		if len(al.batch) == al.batchCap {
+			al.par.Send(al.batch)
+			al.batch = al.par.NewBatch()
+		}
+	}
+	al.emitted++
+	if al.emitted == al.epochLen {
+		al.emitted = 0
+		if al.mode == LearnerSeq {
+			al.current = al.core.Publish()
+		} else {
+			al.par.Send(al.batch)
+			al.batch = al.par.NewBatch()
+			al.current = al.par.Flush()
+		}
+	}
+}
+
+// Close drains the actor/learner machinery after a run: outstanding
+// experiences are applied, the learner goroutine (if any) is joined, and
+// the final snapshot's write canary is verified. A no-op in inline mode;
+// idempotent otherwise.
+func (a *Agent) Close() {
+	if a.al == nil || a.al.closed {
+		return
+	}
+	a.al.closed = true
+	if a.al.par != nil {
+		a.al.par.Send(a.al.batch)
+		a.al.batch = nil
+		a.al.current = a.al.par.Close()
+		a.al.par = nil
+	} else {
+		// Mirror the parallel drain, which publishes once while stopping:
+		// both modes end on a freshly published final snapshot.
+		a.al.current = a.al.core.Publish()
+	}
+	a.al.core.finish()
 }
 
 // Name implements cache.Policy.
@@ -187,11 +297,13 @@ func (a *Agent) nrReward(e EQEntry) int8 {
 }
 
 // record implements Algorithm 1 lines 21-38 for sampled sets: push the new
-// EQ entry; on queue overflow assign the NR reward if needed and apply the
-// SARSA update using the evicted entry as (S1, A1) and the queue head as
-// (S2, A2).
+// EQ entry; on queue overflow assign the NR reward if needed and train on
+// the evicted entry as (S1, A1) with the queue head as (S2, A2). In inline
+// mode it applies the SARSA update itself — which is why it is certified
+// as a learner entry; in actor/learner mode it only emits the experience.
 //
 //chromevet:hot
+//chromevet:learner
 func (a *Agent) record(q int, entry EQEntry) {
 	old, evicted := a.eq.Insert(q, entry)
 	if !evicted {
@@ -203,6 +315,14 @@ func (a *Agent) record(q int, entry EQEntry) {
 		a.stats.RewardsNR++
 	}
 	head := a.eq.Head(q)
+	if a.al != nil {
+		exp := Experience{State: old.State, Action: old.Action, Reward: old.Reward}
+		if head != nil {
+			exp.HasNext, exp.Next, exp.NextAction = true, head.State, head.Action
+		}
+		a.emit(exp)
+		return
+	}
 	var nextQ float64
 	if head != nil {
 		nextQ = a.qt.Q(head.State, head.Action)
@@ -221,17 +341,28 @@ func pfIndex(acc mem.Access) int {
 	return 0
 }
 
-// choose implements the ε-greedy action selection (Algorithm 1 lines 10-19).
+// choose implements the ε-greedy action selection (Algorithm 1 lines
+// 10-19). In actor/learner mode the exploiting lookup reads the core's
+// frozen epoch snapshot instead of the live table, and exploration draws
+// from the per-core actor RNG.
 //
 //chromevet:hot
-func (a *Agent) choose(s State, hit bool) Action {
+func (a *Agent) choose(s State, hit bool, core mem.CoreID) Action {
 	a.stats.Decisions++
-	if a.cfg.Epsilon > 0 && a.rng.Float64() < a.cfg.Epsilon {
+	rng := a.rng
+	if a.al != nil {
+		rng = a.al.actorRNG[core.Int()&(maxCores-1)]
+	}
+	if a.cfg.Epsilon > 0 && rng.Float64() < a.cfg.Epsilon {
 		a.stats.Explorations++
 		if hit {
-			return ActionEPV0 + Action(a.rng.IntN(3))
+			return ActionEPV0 + Action(rng.IntN(3))
 		}
-		return Action(a.rng.IntN(NumActions))
+		return Action(rng.IntN(NumActions))
+	}
+	if a.al != nil {
+		act, _ := a.al.current.BestAction(s, hit)
+		return act
 	}
 	act, _ := a.qt.BestAction(s, hit)
 	return act
@@ -249,7 +380,7 @@ func (a *Agent) Victim(set mem.SetIdx, blocks []cache.Block, acc mem.Access) (in
 		a.assignAccuracyReward(q, acc, false)
 	}
 	st := a.state(acc, false)
-	act := a.choose(st, false)
+	act := a.choose(st, false, acc.Core)
 	a.stats.MissActions[pfIndex(acc)][act]++
 	if q >= 0 {
 		a.record(q, EQEntry{
@@ -312,7 +443,7 @@ func (a *Agent) OnHit(set mem.SetIdx, way int, _ []cache.Block, acc mem.Access) 
 		a.assignAccuracyReward(q, acc, true)
 	}
 	st := a.state(acc, true)
-	act := a.choose(st, true)
+	act := a.choose(st, true, acc.Core)
 	a.stats.HitActions[pfIndex(acc)][act]++
 	a.epv[set][way] = act.EPV() & 3
 	if q >= 0 {

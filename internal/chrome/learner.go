@@ -1,0 +1,76 @@
+package chrome
+
+import (
+	"math/rand/v2"
+
+	"chrome/internal/mem"
+)
+
+// Experience is one SARSA training example emitted by an actor when an EQ
+// eviction resolves a reward: the acting (state, action, reward) triple
+// plus the successor pair the target bootstraps from. The learner computes
+// the bootstrap Q-value itself, from its own (live) table, so experiences
+// stay plain data and apply identically in sequential and parallel mode.
+type Experience struct {
+	State      State
+	Action     Action
+	Reward     int8
+	HasNext    bool
+	Next       State
+	NextAction Action
+}
+
+// LearnerCore owns the live Q-table while an agent runs in actor/learner
+// mode. All mutation funnels through Apply, in experience-emission order,
+// driven by the learner's private stochastic-rounding RNG — which is what
+// makes the parallel learner bit-identical to the sequential reference.
+type LearnerCore struct {
+	qt    *QTable
+	rng   *rand.Rand
+	gamma float64
+	epoch uint64
+	prev  *Snapshot
+}
+
+func newLearnerCore(qt *QTable, cfg Config) *LearnerCore {
+	return &LearnerCore{
+		qt:    qt,
+		rng:   rand.New(rand.NewPCG(cfg.Seed^0x1EA51EA5, mem.Mix64(cfg.Seed^0x5EED1EA8))),
+		gamma: cfg.Gamma,
+	}
+}
+
+// Apply executes one SARSA step for an emitted experience.
+//
+//chromevet:learner
+func (lc *LearnerCore) Apply(e Experience) {
+	var nextQ float64
+	if e.HasNext {
+		nextQ = lc.qt.Q(e.Next, e.NextAction)
+	}
+	target := float64(e.Reward) + lc.gamma*nextQ
+	lc.qt.Update(e.State, e.Action, target, lc.rng.Float64())
+}
+
+// Publish clones the live view into a fresh immutable snapshot, sealing
+// its write canary; it also re-verifies the previously published
+// snapshot's canary (simcheck builds), catching any actor that wrote
+// through a supposedly frozen view during the elapsed epoch.
+//
+//chromevet:learner
+func (lc *LearnerCore) Publish() *Snapshot {
+	verifySnapshot(lc.prev)
+	s := &Snapshot{qview: lc.qt.qview.clone(), epoch: lc.epoch}
+	lc.epoch++
+	sealSnapshot(s)
+	lc.prev = s
+	return s
+}
+
+// finish verifies the final published snapshot once the learner has
+// stopped (no further Publish will re-check it).
+//
+//chromevet:learner
+func (lc *LearnerCore) finish() {
+	verifySnapshot(lc.prev)
+}

@@ -1,0 +1,122 @@
+package chrome
+
+import (
+	"reflect"
+	"testing"
+
+	"chrome/internal/mem"
+)
+
+// runLearnerStream drives a fresh agent in the given learner mode over a
+// fixed synthetic mixed stream (hot set + stream + prefetches across four
+// cores) and returns it after Close.
+func runLearnerStream(t *testing.T, mode LearnerMode) *Agent {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Epsilon = 0.05
+	cfg.EpochUpdates = 256
+	cfg.ActorBatch = 16
+	ag, c := newTestAgent(t, cfg, 16, 4)
+	ag.SetLearner(mode)
+	for i := 0; i < 40000; i++ {
+		var addr mem.Addr
+		typ := mem.Load
+		switch {
+		case i%3 == 0:
+			addr = mem.Addr((i % 48) * 64) // hot set, short reuse distance
+		case i%7 == 0:
+			addr = mem.Addr(1<<22 + i*64)
+			typ = mem.Prefetch
+		default:
+			addr = mem.Addr(1<<20 + i*64) // stream, never re-referenced
+		}
+		c.Access(mem.Access{
+			PC:    mem.PCOf(uint64(i % 7)),
+			Addr:  addr,
+			Type:  typ,
+			Core:  mem.CoreIDOf(i % 4),
+			Cycle: mem.CycleOf(uint64(i)),
+		})
+	}
+	ag.Close()
+	return ag
+}
+
+// TestActorLearnerMatchesSequential is the determinism gate of the
+// actor/learner split: the parallel learner (separate goroutine, batched
+// transfer channel) must be bit-identical to the sequential reference —
+// same Q-table partials, same published snapshot, same update count, same
+// decision statistics. Run under -race this also exercises the
+// snapshot-publication memory ordering.
+func TestActorLearnerMatchesSequential(t *testing.T) {
+	seq := runLearnerStream(t, LearnerSeq)
+	par := runLearnerStream(t, LearnerPar)
+
+	if s, p := seq.QTable().Updates(), par.QTable().Updates(); s != p {
+		t.Fatalf("update counts diverge: seq %d, par %d", s, p)
+	}
+	if seq.QTable().Updates() < uint64(seq.cfg.epochUpdates()) {
+		t.Fatalf("only %d updates; stream too short to cross an epoch boundary", seq.QTable().Updates())
+	}
+	if s, p := seq.Stats(), par.Stats(); s != p {
+		t.Fatalf("agent stats diverge:\nseq %+v\npar %+v", s, p)
+	}
+	if s, p := seq.al.current.Epoch(), par.al.current.Epoch(); s != p {
+		t.Fatalf("snapshot epochs diverge: seq %d, par %d", s, p)
+	}
+	if seq.al.current.Epoch() == 0 {
+		t.Fatal("no epoch was ever published")
+	}
+	if !reflect.DeepEqual(seq.qt.partials, par.qt.partials) {
+		t.Fatal("live Q-table partials diverge between seq and par")
+	}
+	if !reflect.DeepEqual(seq.al.current.partials, par.al.current.partials) {
+		t.Fatal("published snapshot partials diverge between seq and par")
+	}
+}
+
+// TestInlineModeUnchanged pins that LearnerInline (and never calling
+// SetLearner at all) leaves the classic single-threaded path untouched.
+func TestInlineModeUnchanged(t *testing.T) {
+	cfg := testConfig()
+	ag := New(cfg, 16, 2)
+	ag.SetLearner(LearnerInline)
+	if ag.al != nil {
+		t.Fatal("LearnerInline must not arm actor/learner state")
+	}
+	ag.Close() // no-op
+}
+
+func TestSetLearnerGuards(t *testing.T) {
+	ag := New(testConfig(), 16, 2)
+	ag.SetLearner(LearnerSeq)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second SetLearner did not panic")
+			}
+		}()
+		ag.SetLearner(LearnerPar)
+	}()
+	ag.Close()
+	ag.Close() // idempotent
+}
+
+// TestSnapshotWriteCanary checks the simcheck runtime counterpart of the
+// snapshotro analyzer: a write through a published snapshot is caught at
+// the next epoch's canary verification.
+func TestSnapshotWriteCanary(t *testing.T) {
+	if !snapCanaryEnabled {
+		t.Skip("write canary requires -tags simcheck")
+	}
+	cfg := testConfig()
+	lc := newLearnerCore(NewQTable(cfg), cfg)
+	s := lc.Publish()
+	s.partials[0][0][0]++ // simulate a rogue actor writing a frozen view
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Publish did not panic on a mutated published snapshot")
+		}
+	}()
+	lc.Publish()
+}

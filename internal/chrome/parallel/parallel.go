@@ -1,0 +1,134 @@
+// Package parallel is the simulator's certified concurrency boundary
+// (DESIGN.md §6.4): the one core package chromevet's concprim analyzer
+// permits to use goroutines, channels, and atomics. It implements the
+// actor/learner split generically — per-core actors on the simulation
+// goroutine emit experience batches over an ownership-transfer channel to
+// one learner goroutine, which applies them in FIFO order and publishes
+// immutable snapshots behind an atomic pointer for lock-free actor reads.
+//
+// Determinism contract: batches apply strictly in send order on a single
+// consumer; Flush is a synchronous handshake, so the snapshot it returns
+// reflects exactly the experiences sent before it, independent of
+// scheduling. Every value type crossing the boundary is certified by the
+// chromevet suite — the batch channel by msgown (no reuse after transfer),
+// the snapshot by snapshotro (deep-read-only once published).
+package parallel
+
+import "sync/atomic"
+
+// Learner owns the consumer goroutine of an actor/learner split. E is the
+// experience record type, S the published snapshot type; the package never
+// inspects either.
+type Learner[E, S any] struct {
+	// in carries filled experience batches to the learner goroutine; a nil
+	// batch is the flush marker. Ownership of each batch moves with the
+	// send.
+	//
+	//chromevet:transfer
+	in chan []E
+
+	// flushed answers each flush marker with the snapshot published after
+	// draining everything sent before it.
+	flushed chan *S
+	// free recycles drained batch buffers back to the producer, keeping the
+	// steady state allocation-free.
+	free chan []E
+	// done closes when the learner goroutine has exited.
+	done chan struct{}
+
+	apply    func(E)
+	publish  func() *S
+	snap     atomic.Pointer[S]
+	batchCap int
+	closed   bool
+}
+
+// New starts a learner goroutine. apply consumes one experience; publish
+// builds a fresh immutable snapshot of the learner's state. Both run only
+// on the learner goroutine once New returns; the initial snapshot is
+// published synchronously here, before the goroutine exists, so actors
+// always observe a non-nil view.
+func New[E, S any](apply func(E), publish func() *S, batchCap int) *Learner[E, S] {
+	if batchCap <= 0 {
+		panic("parallel: batch capacity must be positive")
+	}
+	l := &Learner[E, S]{
+		in:       make(chan []E, 4),
+		flushed:  make(chan *S),
+		free:     make(chan []E, 8),
+		done:     make(chan struct{}),
+		apply:    apply,
+		publish:  publish,
+		batchCap: batchCap,
+	}
+	l.snap.Store(publish())
+	go l.run()
+	return l
+}
+
+func (l *Learner[E, S]) run() {
+	defer close(l.done)
+	for batch := range l.in {
+		if batch == nil {
+			s := l.publish()
+			l.snap.Store(s)
+			l.flushed <- s
+			continue
+		}
+		for i := range batch {
+			l.apply(batch[i])
+		}
+		select {
+		case l.free <- batch[:0]:
+		default: // producer has enough spares; let this one be collected
+		}
+	}
+}
+
+// NewBatch returns an empty batch buffer, preferring ones the learner has
+// already drained and recycled.
+func (l *Learner[E, S]) NewBatch() []E {
+	select {
+	case b := <-l.free:
+		return b
+	default:
+		return make([]E, 0, l.batchCap)
+	}
+}
+
+// Send transfers ownership of a filled batch to the learner. The caller
+// must not touch the slice afterwards — take a fresh one from NewBatch.
+func (l *Learner[E, S]) Send(batch []E) {
+	if len(batch) == 0 {
+		return
+	}
+	l.in <- batch
+}
+
+// Flush blocks until every batch sent so far has been applied, then has
+// the learner publish and return a fresh snapshot. This is the epoch
+// boundary: the returned snapshot depends only on the sent experience
+// sequence, never on goroutine scheduling.
+func (l *Learner[E, S]) Flush() *S {
+	l.in <- nil
+	return <-l.flushed
+}
+
+// Current returns the most recently published snapshot (lock-free).
+func (l *Learner[E, S]) Current() *S {
+	return l.snap.Load()
+}
+
+// Close flushes outstanding work, publishes a final snapshot, stops the
+// learner goroutine, and waits for it to exit. Safe to call once; the
+// Learner must not be used afterwards.
+func (l *Learner[E, S]) Close() *S {
+	if l.closed {
+		return l.snap.Load()
+	}
+	l.closed = true
+	s := l.Flush()
+	close(l.in)
+	<-l.done
+	return s
+}

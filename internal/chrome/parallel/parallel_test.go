@@ -1,0 +1,49 @@
+package parallel
+
+import "testing"
+
+func TestLearnerAppliesInOrderAndFlushes(t *testing.T) {
+	var got []int
+	sum := 0
+	l := New(
+		func(e int) { got = append(got, e); sum += e },
+		func() *int { s := sum; return &s },
+		4,
+	)
+	if *l.Current() != 0 {
+		t.Fatalf("initial snapshot = %d, want 0", *l.Current())
+	}
+	b := l.NewBatch()
+	for i := 1; i <= 10; i++ {
+		b = append(b, i)
+		if len(b) == cap(b) {
+			l.Send(b)
+			b = l.NewBatch()
+		}
+	}
+	l.Send(b)
+	if s := l.Flush(); *s != 55 {
+		t.Fatalf("flushed snapshot = %d, want 55", *s)
+	}
+	if *l.Current() != 55 {
+		t.Fatalf("current snapshot = %d, want 55", *l.Current())
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("apply order broken at %d: got %v", i, got)
+		}
+	}
+	if s := l.Close(); *s != 55 {
+		t.Fatalf("final snapshot = %d, want 55", *s)
+	}
+	l.Close() // idempotent
+}
+
+func TestNewRejectsNonPositiveBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(batchCap=0) did not panic")
+		}
+	}()
+	New(func(int) {}, func() *int { return new(int) }, 0)
+}

@@ -1,0 +1,11 @@
+//go:build !simcheck
+
+package chrome
+
+// snapCanaryEnabled reports whether snapshot write-canary verification is
+// compiled in; in default builds the seal/verify pair compiles away.
+const snapCanaryEnabled = false
+
+func sealSnapshot(*Snapshot) {}
+
+func verifySnapshot(*Snapshot) {}

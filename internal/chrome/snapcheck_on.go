@@ -1,0 +1,39 @@
+//go:build simcheck
+
+package chrome
+
+import "chrome/internal/mem"
+
+// snapCanaryEnabled reports whether snapshot write-canary verification is
+// compiled in (the simcheck runtime counterpart of the snapshotro static
+// check).
+const snapCanaryEnabled = true
+
+// snapChecksum folds every sub-table partial of the snapshot into one
+// 64-bit canary.
+func snapChecksum(s *Snapshot) uint64 {
+	h := uint64(0x5CA1AB1E0F5EED00)
+	for f := range s.partials {
+		for t := range s.partials[f] {
+			for _, v := range s.partials[f][t] {
+				h = mem.Mix64(h ^ uint64(uint16(v)))
+			}
+		}
+	}
+	return h
+}
+
+// sealSnapshot stamps the write canary at publish time.
+func sealSnapshot(s *Snapshot) { s.canary = snapChecksum(s) }
+
+// verifySnapshot re-derives the canary of a previously published snapshot
+// and panics if any partial changed since it was sealed: some code wrote
+// through a frozen actor view.
+func verifySnapshot(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	if got := snapChecksum(s); got != s.canary {
+		panic("chrome: published snapshot mutated between epochs (simcheck write-canary mismatch); actor views are read-only")
+	}
+}

@@ -1,0 +1,20 @@
+package chrome
+
+// Snapshot is the epoch-published immutable Q-table view of the
+// actor/learner split (DESIGN.md §6.4). The learner clones the live qview
+// into a fresh Snapshot at every epoch boundary and publishes it behind an
+// atomic pointer; actors answer every ε-greedy lookup from the snapshot
+// they adopted, lock-free, until the next boundary. Once published a
+// snapshot is deep-read-only — enforced statically by chromevet's
+// snapshotro analyzer and, under -tags simcheck, dynamically by the write
+// canary sealed into it at publish time and re-verified at the next epoch.
+//
+//chromevet:snapshot
+type Snapshot struct {
+	qview
+	epoch  uint64
+	canary uint64
+}
+
+// Epoch returns how many epochs had been published before this snapshot.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }

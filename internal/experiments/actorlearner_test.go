@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"chrome/internal/chrome"
+)
+
+// renderReports canonicalizes runner output (tables, sorted summaries, and
+// the CSV form the CLI writes with -outdir) for byte comparison between
+// learner modes.
+func renderReports(reps []Report) string {
+	var b strings.Builder
+	for _, r := range reps {
+		b.WriteString(r.String())
+		b.WriteString(r.Table.CSV())
+	}
+	return b.String()
+}
+
+// TestActorLearnerMatchesSequential is the experiment-level determinism
+// gate of the actor/learner split: fig12 — the runner exercising CHROME
+// and N-CHROME on 4/8/16-core mixes — must render byte-identical output in
+// sequential and parallel actor/learner mode at equal seeds. CI repeats
+// the same comparison end-to-end through the CLI (cmp of -outdir CSVs).
+func TestActorLearnerMatchesSequential(t *testing.T) {
+	seq := tinyScale()
+	seq.ActorLearner = "seq"
+	par := tinyScale()
+	par.ActorLearner = "par"
+	s := renderReports(Fig12(seq))
+	p := renderReports(Fig12(par))
+	if s != p {
+		t.Fatalf("fig12 output diverges between actor/learner modes:\n--- seq ---\n%s--- par ---\n%s", s, p)
+	}
+}
+
+func TestLearnerModeParsing(t *testing.T) {
+	for sel, want := range map[string]chrome.LearnerMode{
+		"": chrome.LearnerInline, "inline": chrome.LearnerInline,
+		"seq": chrome.LearnerSeq, "par": chrome.LearnerPar,
+	} {
+		sc := Scale{ActorLearner: sel}
+		if got := sc.learnerMode(); got != want {
+			t.Fatalf("learnerMode(%q) = %v, want %v", sel, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown selector did not panic")
+		}
+	}()
+	_ = Scale{ActorLearner: "bogus"}.learnerMode()
+}

@@ -44,6 +44,27 @@ type Scale struct {
 	// byte-identical to live ones (TestReplayOffMatchesOn) and every scheme
 	// in a sweep shares one frozen recording per workload.
 	NoReplay bool
+	// ActorLearner selects the CHROME agent's update path: "" or "inline"
+	// keeps the classic in-band SARSA update; "seq" routes experiences
+	// through the actor/learner protocol on one goroutine; "par" runs the
+	// certified learner goroutine (DESIGN.md §6.4). "seq" and "par" are
+	// byte-identical to each other at equal seeds
+	// (TestActorLearnerMatchesSequential); only non-CHROME schemes are
+	// unaffected.
+	ActorLearner string
+}
+
+// learnerMode parses the ActorLearner selector.
+func (sc Scale) learnerMode() chrome.LearnerMode {
+	switch sc.ActorLearner {
+	case "", "inline":
+		return chrome.LearnerInline
+	case "seq":
+		return chrome.LearnerSeq
+	case "par":
+		return chrome.LearnerPar
+	}
+	panic(fmt.Sprintf("experiments: unknown actor/learner mode %q (have inline, seq, par)", sc.ActorLearner))
 }
 
 // budget is the per-core instruction window a recording must cover for a
@@ -302,13 +323,35 @@ func RunMixPublic(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchC
 	return runMix(gens, cores, scheme, pf, sc)
 }
 
-// runMix simulates one mix under one scheme and returns the result.
+// runMix simulates one mix under one scheme and returns the result. When
+// the Scale selects an actor/learner mode, every CHROME agent the factory
+// builds is switched before the run, and every policy with learner
+// machinery is drained before any statistic is read — so callers (UPKSA,
+// table rendering) never race the learner goroutine.
 func runMix(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig, sc Scale) sim.Result {
 	cfg := sim.ScaledConfig(cores)
 	cfg.L1Prefetcher = pf.L1
 	cfg.L2Prefetcher = pf.L2
-	sys := sim.New(cfg, gens, scheme.Factory)
+	factory := scheme.Factory
+	var made []cache.Policy
+	if mode := sc.learnerMode(); mode != chrome.LearnerInline {
+		inner := factory
+		factory = func(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
+			p := inner(sets, ways, cores, obstructed)
+			if a, ok := p.(*chrome.Agent); ok {
+				a.SetLearner(mode)
+			}
+			made = append(made, p)
+			return p
+		}
+	}
+	sys := sim.New(cfg, gens, factory)
 	res := sys.Run(sc.Warmup, sc.Measure)
+	for _, p := range made {
+		if c, ok := p.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
 	res.PolicyName = scheme.Name
 	countInstructions(res)
 	return res

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"chrome/internal/chrome"
 	"chrome/internal/mem"
@@ -144,10 +145,16 @@ func PolicyRoster(sc Scale) []Report {
 
 	tab := metrics.NewTable("policy", "geomean speedup", "avg miss ratio", "avg EPHR")
 	summary := map[string]float64{}
+	// Sorted profile order keeps the float means byte-stable across runs.
+	profileNames := make([]string, 0, len(results))
+	for name := range results {
+		profileNames = append(profileNames, name)
+	}
+	sort.Strings(profileNames)
 	for _, s := range schemes[1:] {
 		var miss, ephr []float64
-		for _, row := range results {
-			st := row[s.Name].LLC
+		for _, pname := range profileNames {
+			st := results[pname][s.Name].LLC
 			miss = append(miss, st.DemandMissRatio())
 			ephr = append(ephr, st.EPHR())
 		}

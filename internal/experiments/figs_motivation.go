@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"chrome/internal/cache"
 	"chrome/internal/metrics"
@@ -45,8 +46,17 @@ func homoSweep(profiles []workload.Profile, cores int, schemes []Scheme, pf Pref
 // geomeanSpeedups reduces a homoSweep to scheme -> geomean weighted speedup
 // over the "LRU" scheme.
 func geomeanSpeedups(results map[string]map[string]sim.Result, schemes []Scheme) map[string]float64 {
+	// Fold profiles in sorted order: float reductions are order-sensitive at
+	// the ulp level, and the rendered output must be byte-identical across
+	// runs (the actor/learner CLI cmp gate compares whole CSVs).
+	profiles := make([]string, 0, len(results))
+	for name := range results {
+		profiles = append(profiles, name)
+	}
+	sort.Strings(profiles)
 	per := map[string][]float64{}
-	for _, row := range results {
+	for _, pname := range profiles {
+		row := results[pname]
 		base := row["LRU"]
 		for name, r := range row {
 			per[name] = append(per[name], metrics.WeightedSpeedup(r.IPC, base.IPC))

@@ -11,7 +11,7 @@ import (
 // (retired instructions per wall-second) reporting in cmd/experiments and
 // the bench harness. It is a monotonic telemetry counter: no simulation
 // result ever reads it, so it cannot perturb experiment output.
-var simInstructions atomic.Uint64 //chromevet:allow globalmut -- write-only telemetry aggregated across parallel cells; results never read it
+var simInstructions atomic.Uint64
 
 // countInstructions records a finished cell's retired-instruction total.
 func countInstructions(res sim.Result) {
