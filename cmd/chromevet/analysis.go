@@ -102,6 +102,9 @@ func Analyzers() []*Analyzer {
 		analyzerSnapshotRO(),
 		analyzerMsgOwn(),
 		analyzerLearnerWrite(),
+		analyzerShardOwn(),
+		analyzerJoinSync(),
+		analyzerStaleBound(),
 	}
 }
 

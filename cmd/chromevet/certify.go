@@ -140,6 +140,103 @@ func collectLearnerFuncs(l *Loader, p *Package) map[token.Pos]annotatedFunc {
 	return out
 }
 
+// shardAnnotation classifies a function declaration's sharding directive:
+// "" (none), "shardsafe" (the caller guarantees exclusive access to every
+// shard's state, e.g. before workers start or between epochs), or
+// "shardjoin" (the function joins the shard workers and may then touch
+// cross-shard state, but only after the join).
+func shardAnnotation(fd *ast.FuncDecl) string {
+	switch {
+	case hasDirective(fd.Doc, "//chromevet:shardsafe"):
+		return "shardsafe"
+	case hasDirective(fd.Doc, "//chromevet:shardjoin"):
+		return "shardjoin"
+	}
+	return ""
+}
+
+// staleAnnotation classifies a snapshot accessor's directive: "" (none),
+// "stalebound" (enforces a caller-supplied staleness bound), or "rawsnap"
+// (hands out the raw snapshot with no bound; learner-side use only).
+func staleAnnotation(fd *ast.FuncDecl) string {
+	switch {
+	case hasDirective(fd.Doc, "//chromevet:stalebound"):
+		return "stalebound"
+	case hasDirective(fd.Doc, "//chromevet:rawsnap"):
+		return "rawsnap"
+	}
+	return ""
+}
+
+// collectShardedFields gathers the module's struct fields annotated
+// "//chromevet:sharded byCore" — per-core state owned by the shard that
+// owns the core — keyed by the declaring identifier's position (stable
+// across generic instantiation).
+func collectShardedFields(l *Loader, p *Package) map[token.Pos]string {
+	const directive = "//chromevet:sharded byCore"
+	out := map[token.Pos]string{}
+	for _, q := range modulePackages(l, p) {
+		for _, f := range q.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					if !hasDirective(fld.Doc, directive) && !hasDirective(fld.Comment, directive) {
+						continue
+					}
+					for _, name := range fld.Names {
+						out[name.Pos()] = name.Name
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectStaleFuncs gathers the module's stalebound/rawsnap-annotated
+// function declarations, keyed by the declaring identifier's position.
+func collectStaleFuncs(l *Loader, p *Package) map[token.Pos]annotatedFunc {
+	out := map[token.Pos]annotatedFunc{}
+	for _, q := range modulePackages(l, p) {
+		for _, f := range q.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				kind := staleAnnotation(fd)
+				if kind == "" {
+					continue
+				}
+				name := fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					if obj := receiverTypeObj(&Pass{L: l, P: q}, fd); obj != nil {
+						name = obj.Name() + "." + name
+					}
+				}
+				out[fd.Name.Pos()] = annotatedFunc{pkgPath: q.Path, name: name, kind: kind}
+			}
+		}
+	}
+	return out
+}
+
+// isCoreID reports whether t is the simulator's core index type
+// (chrome/internal/mem.CoreID), the only value that proves shard ownership.
+func isCoreID(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Name() == "CoreID" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/mem")
+}
+
 // ------------------------------------------------------- mutation summaries
 
 // mutsum computes per-function parameter-mutation summaries: whether a

@@ -92,6 +92,10 @@ func fixtureLoader(t *testing.T) *Loader {
 	l.Override("chrome/internal/vetfixture/learnerext", filepath.Join(base, "learnerwrite", "ext"))
 	l.Override("chrome/internal/vetfixture/learnerwrite", filepath.Join(base, "learnerwrite"))
 	l.Override("chrome/internal/vetfixture/allowedge", filepath.Join(base, "allowedge"))
+	l.Override("chrome/internal/vetfixture/shardown", filepath.Join(base, "shardown"))
+	l.Override("chrome/internal/vetfixture/joinsync", filepath.Join(base, "joinsync"))
+	l.Override("chrome/internal/vetfixture/stalesnap", filepath.Join(base, "stalebound", "snap"))
+	l.Override("chrome/internal/vetfixture/stalebound", filepath.Join(base, "stalebound"))
 	return l
 }
 
@@ -133,9 +137,17 @@ func TestFixtures(t *testing.T) {
 		{name: "learnerwrite",
 			paths: []string{"chrome/internal/vetfixture/learnerext", "chrome/internal/vetfixture/learnerwrite"},
 			dirs:  []string{"learnerwrite", filepath.Join("learnerwrite", "ext")}},
+		{name: "shardown", paths: []string{"chrome/internal/vetfixture/shardown"}, dirs: []string{"shardown"}},
+		{name: "joinsync", paths: []string{"chrome/internal/vetfixture/joinsync"}, dirs: []string{"joinsync"}},
+		// The publishing package rides along so the consumer's imports
+		// resolve; its broken stalebound declaration is itself a finding.
+		{name: "stalebound",
+			paths: []string{"chrome/internal/vetfixture/stalesnap", "chrome/internal/vetfixture/stalebound"},
+			dirs:  []string{"stalebound", filepath.Join("stalebound", "snap")}},
 		// The suppression audit: misplaced and typo'd allows are findings of
 		// the pseudo-analyzer "allow"; the hazards they fail to cover
-		// surface as ordinary narrowing findings.
+		// surface as ordinary narrowing findings. Stale allows naming the
+		// sharded-ownership analyzers prove used-tracking covers them too.
 		{name: "allowedge", paths: []string{"chrome/internal/vetfixture/allowedge"}, dirs: []string{"allowedge"},
 			analyzers: []string{"narrowing", "allow"}},
 	}

@@ -1,0 +1,424 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerShardOwn certifies per-core ownership in the sharded actor pool
+// (DESIGN.md §6.5): a struct field annotated "//chromevet:sharded byCore"
+// holds one element per simulated core, and each element belongs to the
+// shard that owns the core. Code outside //chromevet:shardsafe and
+// //chromevet:shardjoin functions may therefore only index such a field
+// with a value derived from the owning shard's mem.CoreID — a CoreID
+// parameter, a CoreID field reached from a parameter, or arithmetic over
+// those — and may never use the whole container (range, alias, argument):
+// a whole-container use is a cross-shard escape. The check follows CoreID
+// parameters through the callgraph: a callee that indexes sharded state
+// with a CoreID parameter turns that parameter into a shard parameter, and
+// every call site must pass it a shard-derived value.
+func analyzerShardOwn() *Analyzer {
+	return &Analyzer{
+		Name:  "shardown",
+		Doc:   "//chromevet:sharded byCore state is only indexed by the owning shard's core id",
+		Scope: ScopeModule,
+		Run:   runShardOwn,
+	}
+}
+
+func runShardOwn(pass *Pass) []Finding {
+	fields := collectShardedFields(pass.L, pass.P)
+	if len(fields) == 0 {
+		return nil
+	}
+	ss := newShardsum(pass.L, fields)
+	var out []Finding
+	for _, f := range pass.P.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || shardAnnotation(fd) != "" {
+				continue
+			}
+			out = append(out, checkShardOwnFunc(pass, ss, fields, fd)...)
+		}
+	}
+	return out
+}
+
+// coreDeriver decides whether an expression provably carries the owning
+// shard's core id: rooted at a CoreID parameter in roots, at a CoreID
+// field reached from a parameter in params (acc.Core, e.Core — the
+// experience travels with its owner's id), or at a local that was assigned
+// such a value (may-taint: a later reassignment does not clear it, which
+// keeps the common clamp-to-zero idiom derivable). Conversions, CoreID
+// accessor calls, and arithmetic over a derived operand stay derived.
+type coreDeriver struct {
+	p      *Package
+	roots  map[*types.Var]bool // CoreID parameters proving ownership
+	params map[*types.Var]bool // parameters whose CoreID fields count
+	taint  map[*types.Var]bool
+}
+
+// newCoreDeriver builds the deriver for one function body, propagating
+// taint through local assignments to a fixpoint.
+func newCoreDeriver(p *Package, body *ast.BlockStmt, roots, params map[*types.Var]bool) *coreDeriver {
+	d := &coreDeriver{p: p, roots: roots, params: params, taint: map[*types.Var]bool{}}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			s, ok := n.(*ast.AssignStmt)
+			if !ok || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := p.Info.ObjectOf(id).(*types.Var)
+				if !ok || d.taint[v] {
+					continue
+				}
+				if d.derived(s.Rhs[i]) {
+					d.taint[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return d
+}
+
+func (d *coreDeriver) derived(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := d.p.Info.ObjectOf(x).(*types.Var)
+		return ok && (d.roots[v] || d.taint[v])
+	case *ast.SelectorExpr:
+		// A CoreID field reached from a parameter: the value moved in with
+		// its owner's id (acc.Core, e.Core).
+		if !isCoreID(d.p.Info.TypeOf(x)) {
+			return false
+		}
+		root := rootIdent(x.X)
+		if root == nil {
+			return false
+		}
+		v, ok := d.p.Info.ObjectOf(root).(*types.Var)
+		return ok && (d.params[v] || d.roots[v] || d.taint[v])
+	case *ast.CallExpr:
+		if tv, ok := d.p.Info.Types[x.Fun]; ok && tv.IsType() {
+			return len(x.Args) == 1 && d.derived(x.Args[0]) // conversion
+		}
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && d.derived(sel.X) {
+			return true // accessor on a derived value (core.Int())
+		}
+		for _, a := range x.Args {
+			if d.derived(a) {
+				return true // mem.CoreIDOf(derived), owner(derived), ...
+			}
+		}
+	case *ast.BinaryExpr:
+		return d.derived(x.X) || d.derived(x.Y)
+	}
+	return false
+}
+
+// checkShardOwnFunc reports cross-shard indexes, whole-container escapes,
+// and calls handing a non-derived value to a callee's shard parameter.
+func checkShardOwnFunc(pass *Pass, ss *shardsum, fields map[token.Pos]string, fd *ast.FuncDecl) []Finding {
+	p := pass.P
+	roots, params := paramSets(p, fd, -1)
+	d := newCoreDeriver(p, fd.Body, roots, params)
+
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Analyzer: "shardown",
+			Pos:      pass.pos(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Whole-container discipline: locate every sharded-field reference and
+	// classify its syntactic context via the walk stack.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		name, isSharded := fields[obj.Pos()]
+		if !isSharded {
+			return true
+		}
+		// use is the field reference expression: the enclosing selector when
+		// the identifier is its .Sel, the bare identifier otherwise (e.g. a
+		// composite-literal key).
+		var use ast.Expr = id
+		up := len(stack) - 2
+		if up >= 0 {
+			if sel, ok := stack[up].(*ast.SelectorExpr); ok && sel.Sel == id {
+				use = sel
+				up--
+			}
+		}
+		if up < 0 {
+			report(id, "//chromevet:sharded field %s escapes as a whole container: only the owning shard's element may be touched", name)
+			return true
+		}
+		switch parent := stack[up].(type) {
+		case *ast.IndexExpr:
+			if parent.X != use {
+				break // the field appears inside the index expression: fine
+			}
+			if !d.derived(parent.Index) {
+				report(parent.Index, "indexes //chromevet:sharded field %s with a value not derived from the owning shard's core id: derive the index from a mem.CoreID parameter or mark the function //chromevet:shardsafe", name)
+			}
+			return true
+		case *ast.KeyValueExpr:
+			if parent.Key == use {
+				return true // composite-literal construction
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == use {
+					return true // whole-container (re)initialization
+				}
+			}
+		case *ast.CallExpr:
+			if fun, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := p.Info.ObjectOf(fun).(*types.Builtin); isBuiltin &&
+					(fun.Name == "len" || fun.Name == "cap") {
+					return true
+				}
+			}
+		case *ast.RangeStmt:
+			if parent.X == use {
+				report(parent, "ranges over //chromevet:sharded field %s: a cross-shard sweep must run in a //chromevet:shardsafe or //chromevet:shardjoin function", name)
+				return true
+			}
+		}
+		report(use, "//chromevet:sharded field %s escapes as a whole container: only the owning shard's element may be touched", name)
+		return true
+	})
+
+	// Interprocedural half: a call site must hand shard parameters a value
+	// derived from the owning core's id.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(p, call)
+		if callee == nil {
+			return true
+		}
+		sum := ss.summaryFor(callee)
+		if sum == nil {
+			return true
+		}
+		for j, arg := range call.Args {
+			if j < len(sum) && sum[j] && !d.derived(arg) {
+				report(arg, "passes a value not derived from the owning shard's core id to %s, whose parameter %d indexes //chromevet:sharded state", calleeDisplay(callee), j+1)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// paramSets splits a function's parameters into CoreID roots and the full
+// parameter set (receiver excluded: a stored core id does not prove
+// ownership). With only >= 0, the sets contain just that parameter — the
+// per-parameter view the summary fixpoint attributes flows with.
+func paramSets(p *Package, fd *ast.FuncDecl, only int) (roots, params map[*types.Var]bool) {
+	roots, params = map[*types.Var]bool{}, map[*types.Var]bool{}
+	i := 0
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			v, ok := p.Info.Defs[name].(*types.Var)
+			if !ok {
+				i++
+				continue
+			}
+			if only < 0 || i == only {
+				params[v] = true
+				if isCoreID(v.Type()) {
+					roots[v] = true
+				}
+			}
+			i++
+		}
+	}
+	return roots, params
+}
+
+// calleeDisplay renders a callee for findings ("Shards.Emit").
+func calleeDisplay(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Origin().Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// ------------------------------------------------------ ownership summaries
+
+// shardsum computes per-function shard-parameter summaries: sum[i] is true
+// when CoreID-typed parameter i flows into the index of a //chromevet:
+// sharded field, directly or through a callee's shard parameter. Mirrors
+// mutsum's shape: cross-package callees load on demand, intra-package
+// recursion iterates to a fixpoint. Functions annotated shardsafe or
+// shardjoin have empty summaries — their bodies hold certified exclusive
+// access, so their parameters carry no ownership obligation outward.
+type shardsum struct {
+	l      *Loader
+	fields map[token.Pos]string
+	pkgs   map[string]map[*types.Func][]bool
+}
+
+func newShardsum(l *Loader, fields map[token.Pos]string) *shardsum {
+	return &shardsum{l: l, fields: fields, pkgs: map[string]map[*types.Func][]bool{}}
+}
+
+// of returns the package's shard-parameter summaries, computing them on
+// first use.
+func (ss *shardsum) of(p *Package) map[*types.Func][]bool {
+	if s, ok := ss.pkgs[p.Path]; ok {
+		return s
+	}
+	sums := map[*types.Func][]bool{}
+	ss.pkgs[p.Path] = sums
+
+	type fnDecl struct {
+		fn *types.Func
+		d  *ast.FuncDecl
+	}
+	var decls []fnDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sums[fn] = make([]bool, fn.Type().(*types.Signature).Params().Len())
+			if shardAnnotation(fd) == "" {
+				decls = append(decls, fnDecl{fn, fd})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if ss.evalFunc(p, fd.fn, fd.d, sums) {
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// summaryFor resolves a callee's summary, loading its package on demand.
+// Unknown callees (stdlib, interface methods) impose no shard obligation.
+func (ss *shardsum) summaryFor(fn *types.Func) []bool {
+	fn = fn.Origin()
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	path := pkg.Path()
+	if path != ss.l.ModPath && !strings.HasPrefix(path, ss.l.ModPath+"/") {
+		return nil
+	}
+	p, err := ss.l.Load(path)
+	if err != nil {
+		return nil
+	}
+	return ss.of(p)[fn]
+}
+
+// evalFunc recomputes one function's summary: for each CoreID-typed
+// parameter, does the value reach a sharded index or a callee's shard
+// parameter? Reports whether the summary changed.
+func (ss *shardsum) evalFunc(p *Package, fn *types.Func, fd *ast.FuncDecl, sums map[*types.Func][]bool) bool {
+	info := sums[fn]
+	sig := fn.Type().(*types.Signature)
+	changed := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if info[i] || !isCoreID(sig.Params().At(i).Type()) {
+			continue
+		}
+		roots, params := paramSets(p, fd, i)
+		d := newCoreDeriver(p, fd.Body, roots, params)
+		flows := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if flows {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.IndexExpr:
+				if ss.shardedBase(p, x.X) && d.derived(x.Index) {
+					flows = true
+				}
+			case *ast.CallExpr:
+				callee := calleeOf(p, x)
+				if callee == nil || callee.Origin() == fn {
+					return true
+				}
+				sum := ss.summaryFor(callee)
+				for j, arg := range x.Args {
+					if j < len(sum) && sum[j] && d.derived(arg) {
+						flows = true
+					}
+				}
+			}
+			return true
+		})
+		if flows {
+			info[i] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shardedBase reports whether an index expression's base is a sharded field.
+func (ss *shardsum) shardedBase(p *Package, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := p.Info.Uses[x.Sel]; ok {
+			_, sharded := ss.fields[obj.Pos()]
+			return sharded
+		}
+	case *ast.Ident:
+		if obj := p.Info.ObjectOf(x); obj != nil {
+			_, sharded := ss.fields[obj.Pos()]
+			return sharded
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerStaleBound certifies the freshness side of the epoch-snapshot
+// protocol (DESIGN.md §6.5): actor code in other packages must obtain
+// //chromevet:snapshot values through a bounded-staleness accessor — a
+// function annotated //chromevet:stalebound, which takes the caller's
+// explicit bound on how many epochs the snapshot may lag (AtMost-style) —
+// never through a //chromevet:rawsnap fetcher or an unannotated one. Raw
+// fetchers are the learner side's own tooling: learner-certified functions
+// and the snapshot's declaring package are exempt. A stalebound accessor
+// without an integer bound parameter cannot enforce anything and is
+// reported in its declaring package.
+func analyzerStaleBound() *Analyzer {
+	return &Analyzer{
+		Name:  "stalebound",
+		Doc:   "cross-package //chromevet:snapshot fetches go through a //chromevet:stalebound accessor",
+		Scope: ScopeModule,
+		Run:   runStaleBound,
+	}
+}
+
+func runStaleBound(pass *Pass) []Finding {
+	p := pass.P
+	var out []Finding
+
+	// Declaring-package obligation: a stalebound accessor must take the
+	// caller's bound as an integer parameter.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || staleAnnotation(fd) != "stalebound" {
+				continue
+			}
+			if !hasIntParam(p, fd) {
+				out = append(out, Finding{
+					Analyzer: "stalebound",
+					Pos:      pass.pos(fd.Name.Pos()),
+					Message:  fmt.Sprintf("%s is declared //chromevet:stalebound but takes no integer staleness bound: the caller must state how many epochs the snapshot may lag", fd.Name.Name),
+				})
+			}
+		}
+	}
+
+	snaps := collectAnnotatedTypes(pass.L, p, "//chromevet:snapshot")
+	if len(snaps) == 0 {
+		return out
+	}
+	accessors := collectStaleFuncs(pass.L, p)
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Learner-certified code and the accessors themselves handle raw
+			// snapshots by design.
+			if funcAnnotation(fd) != "" || staleAnnotation(fd) != "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(p, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg() == p.Pkg {
+					return true // same-package fetches are the publisher's own business
+				}
+				snapName, ok := returnsSnapshot(p, call, snaps)
+				if !ok {
+					return true
+				}
+				target := accessors[callee.Origin().Pos()]
+				switch target.kind {
+				case "stalebound":
+					// certified: the bound travels as an argument
+				case "rawsnap":
+					out = append(out, Finding{
+						Analyzer: "stalebound",
+						Pos:      pass.pos(call.Pos()),
+						Message:  fmt.Sprintf("fetches //chromevet:snapshot %s through //chromevet:rawsnap %s from outside learner-certified code: go through a //chromevet:stalebound accessor and state the staleness bound", snapName, target.name),
+					})
+				default:
+					out = append(out, Finding{
+						Analyzer: "stalebound",
+						Pos:      pass.pos(call.Pos()),
+						Message:  fmt.Sprintf("cross-package fetch of //chromevet:snapshot %s through unannotated %s: snapshot accessors crossing the package boundary must be //chromevet:stalebound (or //chromevet:rawsnap for learner-side tooling)", snapName, calleeDisplay(callee)),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// returnsSnapshot reports whether a call's static result includes a
+// (pointer to a) //chromevet:snapshot-annotated type, resolving generic
+// results at the instantiated call site.
+func returnsSnapshot(p *Package, call *ast.CallExpr, snaps map[token.Pos]annotatedType) (string, bool) {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return "", false
+	}
+	check := func(t types.Type) (string, bool) {
+		pos, ok := namedDeclPos(t)
+		if !ok {
+			return "", false
+		}
+		at, ok := snaps[pos]
+		return at.name, ok
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if name, ok := check(tuple.At(i).Type()); ok {
+				return name, true
+			}
+		}
+		return "", false
+	}
+	return check(t)
+}
+
+// hasIntParam reports whether the function declares at least one parameter
+// of integer kind (the staleness bound).
+func hasIntParam(p *Package, fd *ast.FuncDecl) bool {
+	for _, fld := range fd.Type.Params.List {
+		if t := p.Info.TypeOf(fld.Type); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

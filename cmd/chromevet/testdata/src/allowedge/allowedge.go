@@ -23,4 +23,26 @@ func properlyUsed(x uint64) uint32 {
 	return uint32(x) //chromevet:allow narrowing -- fixture: exercises a live suppression
 }
 
-var _ = []any{wrongLine, unknownName, properlyUsed}
+// shardStale parks a waiver for shardown where nothing touches sharded
+// state: the analyzer runs module-wide over this package, reports nothing
+// on the line, and the audit flags the waiver stale.
+func shardStale(xs []int) int {
+	t := 0 //chromevet:allow shardown -- nothing here indexes sharded state // want allow "stale allow: shardown reported no finding"
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// joinStale does the same for joinsync: no goroutine is spawned here.
+func joinStale() int {
+	return 1 //chromevet:allow joinsync -- no goroutines here // want allow "stale allow: joinsync reported no finding"
+}
+
+// boundStale does the same for stalebound: no snapshot crosses a package
+// boundary here.
+func boundStale() int {
+	return 2 //chromevet:allow stalebound -- no snapshot fetches here // want allow "stale allow: stalebound reported no finding"
+}
+
+var _ = []any{wrongLine, unknownName, properlyUsed, shardStale, joinStale, boundStale}

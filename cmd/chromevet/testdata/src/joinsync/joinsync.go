@@ -1,0 +1,104 @@
+// Package fixture exercises the joinsync analyzer: every goroutine
+// spawned in certified code must signal completion and have that signal
+// awaited in the package, and a //chromevet:shardjoin function must join
+// the shard workers before touching //chromevet:sharded state. Loaded by
+// the driver test under chrome/internal/vetfixture/joinsync.
+package fixture
+
+import "sync"
+
+// worker owns per-shard results and the termination handshake.
+type worker struct {
+	// results[c] is filled by core c's shard worker.
+	//chromevet:sharded byCore
+	results []int
+	done    chan struct{}
+	out     chan int
+}
+
+// spawn is the good path: the body sends its result and closes the
+// handshake channel, both of which collect awaits.
+func (w *worker) spawn() {
+	go func() {
+		w.out <- 1
+		close(w.done)
+	}()
+}
+
+// collect joins on the handshake before using the result.
+func (w *worker) collect() int {
+	v := <-w.out
+	<-w.done
+	return v
+}
+
+// spawnWaitGroup is the WaitGroup form of the same discipline.
+func spawnWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// fireAndForget spawns a goroutine that signals nothing: it can never be
+// joined, so nothing downstream can know it finished.
+func fireAndForget() {
+	go func() { // want joinsync "signals no completion"
+		_ = 1 + 1
+	}()
+}
+
+// orphan signals on a channel nothing in the package ever awaits.
+type orphan struct {
+	finished chan struct{}
+}
+
+// start closes finished when done, but no receive exists anywhere.
+func (o *orphan) start() {
+	go func() { // want joinsync "never awaited"
+		close(o.finished)
+	}()
+}
+
+// external spawns a function value the analyzer cannot see into.
+func external(f func()) {
+	go f() // want joinsync "cannot be resolved"
+}
+
+// merge is the good shardjoin: the handshake receive comes first, the
+// cross-shard read after.
+//
+//chromevet:shardjoin
+func (w *worker) merge() int {
+	<-w.done
+	t := 0
+	for i := range w.results {
+		t += w.results[i]
+	}
+	return t
+}
+
+// mergeEarly reads sharded state above the join: the shard workers may
+// still be writing results when the read happens.
+//
+//chromevet:shardjoin
+func (w *worker) mergeEarly() int {
+	t := w.results[0] // want joinsync "before the join"
+	<-w.done
+	return t
+}
+
+// mergeNever carries the shardjoin certificate without any join at all.
+//
+//chromevet:shardjoin
+func (w *worker) mergeNever() int { // want joinsync "contains no join operation"
+	return len(w.results)
+}
+
+var _ = []any{(*worker).spawn, (*worker).collect, spawnWaitGroup,
+	fireAndForget, (*orphan).start, external,
+	(*worker).merge, (*worker).mergeEarly, (*worker).mergeNever}

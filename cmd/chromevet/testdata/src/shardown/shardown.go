@@ -1,0 +1,113 @@
+// Package fixture exercises the shardown analyzer: a field annotated
+// "//chromevet:sharded byCore" holds one element per simulated core, each
+// owned by the shard that owns the core, so outside //chromevet:shardsafe
+// code only an index derived from the owning shard's mem.CoreID may reach
+// it, and the whole container may never escape. Loaded by the driver test
+// under chrome/internal/vetfixture/shardown.
+package fixture
+
+import "chrome/internal/mem"
+
+// pool is a sharded actor pool: counts[c] belongs to core c's shard.
+type pool struct {
+	// counts accumulates per-core work.
+	//chromevet:sharded byCore
+	counts []int
+}
+
+// newPool sizes the pool: composite-literal construction is the one-time
+// whole-container initialization the owner performs.
+func newPool(cores int) *pool {
+	return &pool{counts: make([]int, cores)}
+}
+
+// record is the good path: the index derives from the owning core's id.
+func (p *pool) record(core mem.CoreID, n int) {
+	p.counts[core.Int()] += n
+}
+
+// recordVia derives through a local, a clamp, and arithmetic: the taint
+// survives the reassignment, matching the clamp-to-zero idiom.
+func (p *pool) recordVia(core mem.CoreID) {
+	c := core
+	if c.Int() >= len(p.counts) {
+		c = 0
+	}
+	p.counts[c.Int()%len(p.counts)]++
+}
+
+// event carries its owner's id, so ev.Core proves ownership below.
+type event struct {
+	Core mem.CoreID
+	N    int
+}
+
+// absorb indexes with the id the event traveled with.
+func (p *pool) absorb(ev event) {
+	p.counts[ev.Core.Int()] += ev.N
+}
+
+// sweep reads every shard's element from actor code: the loop variable
+// derives from nothing, so each read crosses into another shard.
+func (p *pool) sweep() int {
+	t := 0
+	for i := 0; i < len(p.counts); i++ {
+		t += p.counts[i] // want shardown "not derived from the owning shard's core id"
+	}
+	return t
+}
+
+// peekZero hardcodes a core index: shard 0 does not belong to the caller.
+func (p *pool) peekZero() int {
+	return p.counts[0] // want shardown "not derived from the owning shard's core id"
+}
+
+// leak hands the whole container to arbitrary code.
+func (p *pool) leak() []int {
+	return p.counts // want shardown "escapes as a whole container"
+}
+
+// sumAll iterates across every shard's element.
+func (p *pool) sumAll() int {
+	t := 0
+	for _, v := range p.counts { // want shardown "ranges over //chromevet:sharded field"
+		t += v
+	}
+	return t
+}
+
+// drain is the certified exception: the caller guarantees exclusive
+// access, so the cross-shard sweep and reset are legal here.
+//
+//chromevet:shardsafe
+func (p *pool) drain() int {
+	t := 0
+	for i := range p.counts {
+		t += p.counts[i]
+		p.counts[i] = 0
+	}
+	return t
+}
+
+// bump indexes sharded state with its parameter, which makes core a shard
+// parameter: callers must pass a shard-derived value.
+func (p *pool) bump(core mem.CoreID) {
+	p.counts[core.Int()]++
+}
+
+// forward passes its own core id along: the obligation propagates cleanly.
+func (p *pool) forward(core mem.CoreID) {
+	p.bump(core)
+}
+
+// broadcast fabricates core ids for every shard and hands them to bump:
+// none derives from an owning core.
+func (p *pool) broadcast() {
+	for i := 0; i < 4; i++ {
+		p.bump(mem.CoreIDOf(i)) // want shardown "passes a value not derived from the owning shard's core id"
+	}
+}
+
+var _ = []any{newPool, (*pool).record, (*pool).recordVia, (*pool).absorb,
+	(*pool).sweep, (*pool).peekZero, (*pool).leak, (*pool).sumAll,
+	(*pool).drain, (*pool).forward, (*pool).broadcast}

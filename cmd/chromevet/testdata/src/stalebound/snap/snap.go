@@ -1,0 +1,49 @@
+// Package fixture is the publishing side of the stalebound fixture: it
+// declares the snapshot type and the accessors other packages fetch it
+// through. Loaded by the driver test under
+// chrome/internal/vetfixture/stalesnap.
+package fixture
+
+// Table is the epoch-published decision snapshot.
+//
+//chromevet:snapshot
+type Table struct {
+	V []int
+}
+
+// Source publishes Tables and hands them out under a staleness contract.
+type Source struct {
+	cur *Table
+}
+
+// AtMost returns a snapshot at most bound epochs behind the learner: the
+// certified way for actor code to fetch one.
+//
+//chromevet:stalebound
+func (s *Source) AtMost(bound int) *Table {
+	_ = bound
+	return s.cur
+}
+
+// Raw hands out the freshest snapshot with no bound: learner-side tooling
+// only.
+//
+//chromevet:rawsnap
+func (s *Source) Raw() *Table {
+	return s.cur
+}
+
+// Leak returns the snapshot with no annotation at all.
+func (s *Source) Leak() *Table {
+	return s.cur
+}
+
+// Unbounded claims a staleness contract but gives the caller no way to
+// state the bound, so it can enforce nothing.
+//
+//chromevet:stalebound
+func (s *Source) Unbounded() *Table { // want stalebound "takes no integer staleness bound"
+	return s.cur
+}
+
+var _ = []any{(*Source).AtMost, (*Source).Raw, (*Source).Leak, (*Source).Unbounded}

@@ -1,0 +1,35 @@
+// Package fixture is the consuming side of the stalebound fixture: actor
+// code fetching epoch snapshots from another package. Loaded by the driver
+// test under chrome/internal/vetfixture/stalebound.
+package fixture
+
+import snap "chrome/internal/vetfixture/stalesnap"
+
+// decide is the good path: the fetch states its staleness bound.
+func decide(src *snap.Source) int {
+	t := src.AtMost(2)
+	return len(t.V)
+}
+
+// peek grabs the raw snapshot from actor code: no bound travels with the
+// fetch, so the actor could read arbitrarily stale or torn state.
+func peek(src *snap.Source) int {
+	t := src.Raw() // want stalebound "through //chromevet:rawsnap"
+	return len(t.V)
+}
+
+// smuggle goes through an accessor that never joined the protocol.
+func smuggle(src *snap.Source) int {
+	t := src.Leak() // want stalebound "unannotated"
+	return len(t.V)
+}
+
+// apply is learner-certified: raw snapshot handling is the learner side's
+// own tooling, so the fetch is exempt.
+//
+//chromevet:learner
+func apply(src *snap.Source) int {
+	return len(src.Raw().V)
+}
+
+var _ = []any{decide, peek, smuggle, apply}

@@ -9,6 +9,8 @@
 //	experiments -scale full            # entire suite (tens of minutes)
 //	experiments -scale full -j 8       # ... on 8 workers
 //	experiments -qualify               # workload MPKI qualification
+//	experiments -run fig11ext -actorlearner par -actorshards 4
+//	                                   # sharded actors, 16/32/64-core sweep
 //
 // Independent simulation cells (one mix under one scheme) run on a bounded
 // worker pool sized by -j; results are merged deterministically, so the
@@ -46,6 +48,8 @@ func main() {
 		replay   = flag.Bool("replay", true, "record each workload stream once and replay it across schemes and cells")
 		traceDir = flag.String("tracedir", "", "persist recordings to this directory and reuse them across runs (implies -replay)")
 		actorAL  = flag.String("actorlearner", "inline", "CHROME update path: inline | seq | par (seq and par are byte-identical at equal seeds)")
+		shards   = flag.Int("actorshards", 0, "shard the CHROME actor pool across N workers (requires -actorlearner par; 0 = unsharded)")
+		stale    = flag.Int("staleness", 0, "epoch boundaries the adopted decision snapshot may lag the learner (deterministic at every bound)")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -102,11 +106,11 @@ func main() {
 	}
 	sc.Parallelism = *jobs
 	sc.NoReplay = !*replay && *traceDir == ""
-	switch *actorAL {
-	case "inline", "seq", "par":
-		sc.ActorLearner = *actorAL
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -actorlearner mode %q (want inline, seq or par)\n", *actorAL)
+	sc.ActorLearner = *actorAL
+	sc.ActorShards = *shards
+	sc.SnapshotStaleness = *stale
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *traceDir != "" {

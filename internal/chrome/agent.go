@@ -99,6 +99,9 @@ type alState struct {
 	mode LearnerMode
 	core *LearnerCore
 	par  *parallel.Learner[Experience, Snapshot]
+	// shards is the sharded actor pool staging experiences per core; nil
+	// when batches stream straight to the learner (LearnerOptions.Shards 0).
+	shards *parallel.Shards[Experience]
 	// current is the epoch-frozen snapshot every actor decision reads.
 	current *Snapshot
 	batch   []Experience
@@ -106,10 +109,17 @@ type alState struct {
 	emitted  int
 	epochLen int
 	batchCap int
-	closed   bool
+	// staleness is the adopted snapshot's maximum age in epoch boundaries.
+	staleness int
+	// snapQ delays snapshot adoption by `staleness` boundaries in LearnerSeq
+	// mode, mirroring the parallel Cut/AtMost protocol exactly.
+	snapQ  []*Snapshot
+	closed bool
 	// actorRNG drives ε-greedy exploration per simulated core, decoupled
 	// from the learner's stochastic-rounding stream so actors need no
 	// access to learner state.
+	//
+	//chromevet:sharded byCore
 	actorRNG [maxCores]*rand.Rand
 }
 
@@ -118,7 +128,22 @@ type alState struct {
 // first simulated access; LearnerInline is a no-op. In LearnerPar mode the
 // caller must Close the agent after the run before reading Q-table state.
 func (a *Agent) SetLearner(mode LearnerMode) {
-	if mode == LearnerInline {
+	a.SetLearnerOptions(LearnerOptions{Mode: mode})
+}
+
+// SetLearnerOptions is SetLearner with the full actor/learner shape:
+// learner mode, actor shard count, and snapshot staleness bound
+// (DESIGN.md §6.5). It runs strictly before the first simulated access, so
+// the whole-array sweep seeding the per-core actor RNGs happens while this
+// goroutine still owns every shard's state — the shardsafe annotation
+// records that exclusivity.
+//
+//chromevet:shardsafe
+func (a *Agent) SetLearnerOptions(o LearnerOptions) {
+	if o.Mode == LearnerInline {
+		if o.Shards != 0 || o.Staleness != 0 {
+			panic("chrome: sharding and staleness require LearnerSeq or LearnerPar")
+		}
 		return
 	}
 	if a.al != nil {
@@ -127,11 +152,18 @@ func (a *Agent) SetLearner(mode LearnerMode) {
 	if a.stats.Decisions != 0 {
 		panic("chrome: SetLearner must be called before simulation starts")
 	}
+	if o.Shards < 0 || (o.Shards > 0 && o.Mode != LearnerPar) {
+		panic("chrome: actor sharding requires LearnerPar")
+	}
+	if o.Staleness < 0 || o.Staleness > parallel.MaxStaleness {
+		panic("chrome: snapshot staleness bound out of range")
+	}
 	al := &alState{
-		mode:     mode,
-		core:     newLearnerCore(a.qt, a.cfg),
-		epochLen: a.cfg.epochUpdates(),
-		batchCap: a.cfg.actorBatch(),
+		mode:      o.Mode,
+		core:      newLearnerCore(a.qt, a.cfg),
+		epochLen:  a.cfg.epochUpdates(),
+		batchCap:  a.cfg.actorBatch(),
+		staleness: o.Staleness,
 	}
 	for c := range al.actorRNG {
 		al.actorRNG[c] = rand.New(rand.NewPCG(
@@ -139,11 +171,14 @@ func (a *Agent) SetLearner(mode LearnerMode) {
 			mem.Mix64(a.cfg.Seed^0xAC7EC0DE^uint64(c)),
 		))
 	}
-	if mode == LearnerPar {
+	if o.Mode == LearnerPar {
 		lc := al.core
 		al.par = parallel.New(lc.Apply, lc.Publish, al.batchCap)
 		al.batch = al.par.NewBatch()
-		al.current = al.par.Current()
+		al.current = al.par.AtMost(0)
+		if o.Shards > 0 {
+			al.shards = parallel.NewShards[Experience](o.Shards, maxCores, al.batchCap)
+		}
 	} else {
 		al.current = al.core.Publish()
 	}
@@ -151,15 +186,20 @@ func (a *Agent) SetLearner(mode LearnerMode) {
 }
 
 // emit hands one experience to the learner and advances the epoch clock,
-// adopting the freshly published snapshot at each boundary. Sequential and
-// parallel mode feed the same experiences to the same LearnerCore in the
-// same order, so the published snapshots — and every decision made from
-// them — are bit-identical between the two.
+// adopting a freshly published snapshot at each boundary (delayed by the
+// configured staleness bound). Sequential, parallel, and sharded mode feed
+// the same experiences to the same LearnerCore in the same order — sharded
+// staging merges back into emission order by sequence stamp before the
+// learner sees it — so the published snapshots, and every decision made
+// from them, are bit-identical across modes at equal staleness.
 func (a *Agent) emit(e Experience) {
 	al := a.al
-	if al.mode == LearnerSeq {
+	switch {
+	case al.mode == LearnerSeq:
 		al.core.Apply(e)
-	} else {
+	case al.shards != nil:
+		al.shards.Emit(e.Core, e)
+	default:
 		al.batch = append(al.batch, e)
 		if len(al.batch) == al.batchCap {
 			al.par.Send(al.batch)
@@ -167,36 +207,78 @@ func (a *Agent) emit(e Experience) {
 		}
 	}
 	al.emitted++
-	if al.emitted == al.epochLen {
-		al.emitted = 0
-		if al.mode == LearnerSeq {
-			al.current = al.core.Publish()
-		} else {
-			al.par.Send(al.batch)
-			al.batch = al.par.NewBatch()
-			al.current = al.par.Flush()
-		}
+	if al.emitted != al.epochLen {
+		return
+	}
+	al.emitted = 0
+	if al.mode == LearnerSeq {
+		al.adopt(al.core.Publish())
+		return
+	}
+	if al.shards != nil {
+		al.feedMerged(al.shards.Cut())
+	} else {
+		al.par.Send(al.batch)
+		al.batch = al.par.NewBatch()
+	}
+	al.par.Cut()
+	al.current = al.par.AtMost(al.staleness)
+}
+
+// adopt queues a sequential-mode snapshot and adopts the one falling
+// `staleness` boundaries behind, mirroring the parallel Cut/AtMost
+// protocol: until enough boundaries have passed the actor keeps its
+// current (initially the epoch-0) snapshot.
+func (al *alState) adopt(s *Snapshot) {
+	al.snapQ = append(al.snapQ, s)
+	if len(al.snapQ) > al.staleness {
+		al.current = al.snapQ[0]
+		al.snapQ = al.snapQ[1:]
 	}
 }
 
+// feedMerged streams a merged epoch batch to the parallel learner in
+// emission order, re-batching into transfer-owned buffers.
+func (al *alState) feedMerged(run []parallel.Stamped[Experience]) {
+	for i := range run {
+		al.batch = append(al.batch, run[i].E)
+		if len(al.batch) == al.batchCap {
+			al.par.Send(al.batch)
+			al.batch = al.par.NewBatch()
+		}
+	}
+	al.par.Send(al.batch)
+	al.batch = al.par.NewBatch()
+}
+
 // Close drains the actor/learner machinery after a run: outstanding
-// experiences are applied, the learner goroutine (if any) is joined, and
-// the final snapshot's write canary is verified. A no-op in inline mode;
-// idempotent otherwise.
+// experiences are applied, the shard workers and learner goroutine (if
+// any) are joined, and the final snapshot's write canary is verified. A
+// no-op in inline mode; idempotent otherwise. Whatever the staleness bound
+// was during the run, Close adopts the final snapshot at bound zero, so
+// post-run state reads are exact in every mode.
 func (a *Agent) Close() {
 	if a.al == nil || a.al.closed {
 		return
 	}
 	a.al.closed = true
 	if a.al.par != nil {
-		a.al.par.Send(a.al.batch)
+		if a.al.shards != nil {
+			a.al.feedMerged(a.al.shards.Cut())
+			a.al.shards.Close()
+			a.al.shards = nil
+		} else {
+			a.al.par.Send(a.al.batch)
+		}
 		a.al.batch = nil
-		a.al.current = a.al.par.Close()
+		a.al.par.Close()
+		a.al.current = a.al.par.AtMost(0)
 		a.al.par = nil
 	} else {
 		// Mirror the parallel drain, which publishes once while stopping:
 		// both modes end on a freshly published final snapshot.
 		a.al.current = a.al.core.Publish()
+		a.al.snapQ = nil
 	}
 	a.al.core.finish()
 }
@@ -316,7 +398,10 @@ func (a *Agent) record(q int, entry EQEntry) {
 	}
 	head := a.eq.Head(q)
 	if a.al != nil {
-		exp := Experience{State: old.State, Action: old.Action, Reward: old.Reward}
+		exp := Experience{
+			State: old.State, Action: old.Action, Reward: old.Reward,
+			Core: mem.CoreIDOf(int(old.Core)),
+		}
 		if head != nil {
 			exp.HasNext, exp.Next, exp.NextAction = true, head.State, head.Action
 		}

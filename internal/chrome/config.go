@@ -65,6 +65,24 @@ const (
 	LearnerPar
 )
 
+// LearnerOptions is the full actor/learner shape an agent can run with
+// (DESIGN.md §6.5). The zero value means classic inline updates.
+type LearnerOptions struct {
+	// Mode selects the update path; see LearnerMode.
+	Mode LearnerMode
+	// Shards >= 1 partitions actor-side experience staging across that many
+	// shard worker goroutines (LearnerPar only). 0 streams batches straight
+	// to the learner on the emitting goroutine. Output is byte-identical at
+	// equal seeds and staleness for every shard count, including zero.
+	Shards int
+	// Staleness bounds how many epoch boundaries the adopted decision
+	// snapshot may lag the learner (0 = adopt synchronously at each
+	// boundary; at most parallel.MaxStaleness). The bound is exact-lag and
+	// deterministic: the adopted snapshot is fixed by the experience
+	// sequence and the bound, never by goroutine scheduling.
+	Staleness int
+}
+
 // String names the learner mode.
 func (m LearnerMode) String() string {
 	switch m {

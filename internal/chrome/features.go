@@ -133,10 +133,13 @@ func (fc *featureContext) deltaHistHash() uint64 {
 }
 
 // extractor computes state-vector feature values for accesses. It holds
-// one featureContext per core.
+// one featureContext per core; a context may only be touched by accesses
+// from its own core, or per-core feature histories would bleed into each
+// other.
 type extractor struct {
 	kinds []FeatureKind
-	ctx   []featureContext
+	//chromevet:sharded byCore
+	ctx []featureContext
 }
 
 func newExtractor(kinds []FeatureKind, cores int) *extractor {

@@ -18,6 +18,9 @@ type Experience struct {
 	HasNext    bool
 	Next       State
 	NextAction Action
+	// Core is the acting core the experience belongs to; the sharded actor
+	// pool routes and stages per-core state by it (the learner ignores it).
+	Core mem.CoreID
 }
 
 // LearnerCore owns the live Q-table while an agent runs in actor/learner

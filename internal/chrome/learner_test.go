@@ -11,13 +11,19 @@ import (
 // fixed synthetic mixed stream (hot set + stream + prefetches across four
 // cores) and returns it after Close.
 func runLearnerStream(t *testing.T, mode LearnerMode) *Agent {
+	return runLearnerStreamOpts(t, LearnerOptions{Mode: mode})
+}
+
+// runLearnerStreamOpts is runLearnerStream with the full actor/learner
+// shape (shard count, staleness bound).
+func runLearnerStreamOpts(t *testing.T, o LearnerOptions) *Agent {
 	t.Helper()
 	cfg := testConfig()
 	cfg.Epsilon = 0.05
 	cfg.EpochUpdates = 256
 	cfg.ActorBatch = 16
 	ag, c := newTestAgent(t, cfg, 16, 4)
-	ag.SetLearner(mode)
+	ag.SetLearnerOptions(o)
 	for i := 0; i < 40000; i++ {
 		var addr mem.Addr
 		typ := mem.Load
@@ -72,6 +78,82 @@ func TestActorLearnerMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq.al.current.partials, par.al.current.partials) {
 		t.Fatal("published snapshot partials diverge between seq and par")
+	}
+}
+
+// agentFingerprint reduces an agent's post-Close state to the values the
+// determinism gates compare across learner modes.
+func agentFingerprint(a *Agent) (updates uint64, stats AgentStats, epoch uint64) {
+	return a.QTable().Updates(), a.Stats(), a.al.current.Epoch()
+}
+
+// TestShardedActorMatchesSequential is the determinism gate of the sharded
+// actor pool: routing experiences through N shard workers and merging by
+// sequence stamp at each epoch cut must be bit-identical to the sequential
+// reference at staleness 0, for every shard count. Run under -race this
+// also exercises the shard handoff memory ordering.
+func TestShardedActorMatchesSequential(t *testing.T) {
+	seq := runLearnerStream(t, LearnerSeq)
+	for _, shards := range []int{1, 2, 4} {
+		sh := runLearnerStreamOpts(t, LearnerOptions{Mode: LearnerPar, Shards: shards})
+		su, ss, se := agentFingerprint(seq)
+		pu, ps, pe := agentFingerprint(sh)
+		if su != pu || ss != ps || se != pe {
+			t.Fatalf("shards=%d diverges from seq: updates %d/%d epochs %d/%d\nseq %+v\nsharded %+v",
+				shards, su, pu, se, pe, ss, ps)
+		}
+		if !reflect.DeepEqual(seq.qt.partials, sh.qt.partials) {
+			t.Fatalf("shards=%d: live Q-table partials diverge from seq", shards)
+		}
+		if !reflect.DeepEqual(seq.al.current.partials, sh.al.current.partials) {
+			t.Fatalf("shards=%d: published snapshot partials diverge from seq", shards)
+		}
+	}
+}
+
+// TestStalenessDeterministicAcrossModes pins the exact-lag staleness
+// contract: at every bound k the adopted snapshot sequence is fully
+// determined by the experience stream, so sequential emulation and the
+// sharded parallel pool stay bit-identical to each other — and a non-zero
+// bound genuinely changes the decision stream relative to k = 0.
+func TestStalenessDeterministicAcrossModes(t *testing.T) {
+	fresh := runLearnerStream(t, LearnerSeq)
+	for _, k := range []int{1, 3} {
+		seq := runLearnerStreamOpts(t, LearnerOptions{Mode: LearnerSeq, Staleness: k})
+		par := runLearnerStreamOpts(t, LearnerOptions{Mode: LearnerPar, Shards: 2, Staleness: k})
+		su, ss, se := agentFingerprint(seq)
+		pu, ps, pe := agentFingerprint(par)
+		if su != pu || ss != ps || se != pe {
+			t.Fatalf("staleness=%d: seq emulation and sharded pool diverge: updates %d/%d epochs %d/%d\nseq %+v\npar %+v",
+				k, su, pu, se, pe, ss, ps)
+		}
+		if !reflect.DeepEqual(seq.qt.partials, par.qt.partials) {
+			t.Fatalf("staleness=%d: live Q-table partials diverge between modes", k)
+		}
+		if fs := fresh.Stats(); reflect.DeepEqual(fs, ss) {
+			t.Fatalf("staleness=%d produced identical decisions to staleness=0; the bound is not taking effect", k)
+		}
+	}
+}
+
+func TestSetLearnerOptionsGuards(t *testing.T) {
+	for name, o := range map[string]LearnerOptions{
+		"ShardsWithSeq":       {Mode: LearnerSeq, Shards: 2},
+		"NegativeShards":      {Mode: LearnerPar, Shards: -1},
+		"NegativeStaleness":   {Mode: LearnerPar, Staleness: -1},
+		"HugeStaleness":       {Mode: LearnerPar, Staleness: 1 << 20},
+		"ShardsWithInline":    {Mode: LearnerInline, Shards: 2},
+		"StalenessWithInline": {Mode: LearnerInline, Staleness: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ag := New(testConfig(), 16, 2)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetLearnerOptions(%+v) did not panic", o)
+				}
+			}()
+			ag.SetLearnerOptions(o)
+		})
 	}
 }
 

@@ -1,28 +1,40 @@
 // Package parallel is the simulator's certified concurrency boundary
-// (DESIGN.md §6.4): the one core package chromevet's concprim analyzer
+// (DESIGN.md §6.4–§6.5): the one core package chromevet's concprim analyzer
 // permits to use goroutines, channels, and atomics. It implements the
 // actor/learner split generically — per-core actors on the simulation
 // goroutine emit experience batches over an ownership-transfer channel to
 // one learner goroutine, which applies them in FIFO order and publishes
 // immutable snapshots behind an atomic pointer for lock-free actor reads.
+// shard.go adds the sharded actor pool in front of the learner.
 //
 // Determinism contract: batches apply strictly in send order on a single
 // consumer; Flush is a synchronous handshake, so the snapshot it returns
 // reflects exactly the experiences sent before it, independent of
-// scheduling. Every value type crossing the boundary is certified by the
-// chromevet suite — the batch channel by msgown (no reuse after transfer),
-// the snapshot by snapshotro (deep-read-only once published).
+// scheduling. Cut/AtMost generalize the handshake to a bounded-staleness
+// one: Cut marks an epoch boundary asynchronously, and AtMost(k) adopts
+// the snapshot published k boundaries ago — fully determined by the sent
+// experience sequence at every k, and identical to Flush at k = 0. Every
+// value type crossing the boundary is certified by the chromevet suite —
+// the batch channel by msgown (no reuse after transfer), the snapshot by
+// snapshotro (deep-read-only once published), raw snapshot fetchers by
+// stalebound (consumers outside the learner go through AtMost).
 package parallel
 
 import "sync/atomic"
+
+// MaxStaleness bounds how many epoch cuts a consumer may lag the learner;
+// it sizes the acknowledgement buffer so neither side ever blocks on it
+// within the bound.
+const MaxStaleness = 64
 
 // Learner owns the consumer goroutine of an actor/learner split. E is the
 // experience record type, S the published snapshot type; the package never
 // inspects either.
 type Learner[E, S any] struct {
 	// in carries filled experience batches to the learner goroutine; a nil
-	// batch is the flush marker. Ownership of each batch moves with the
-	// send.
+	// batch is the synchronous flush marker and the empty cutMark sentinel
+	// is the asynchronous epoch-cut marker. Ownership of each batch moves
+	// with the send.
 	//
 	//chromevet:transfer
 	in chan []E
@@ -30,6 +42,9 @@ type Learner[E, S any] struct {
 	// flushed answers each flush marker with the snapshot published after
 	// draining everything sent before it.
 	flushed chan *S
+	// acks answers each cut marker with the snapshot published at that
+	// boundary, in boundary order; AtMost consumes it on the actor side.
+	acks chan *S
 	// free recycles drained batch buffers back to the producer, keeping the
 	// steady state allocation-free.
 	free chan []E
@@ -41,6 +56,15 @@ type Learner[E, S any] struct {
 	snap     atomic.Pointer[S]
 	batchCap int
 	closed   bool
+
+	// cutMark is the distinguished empty batch sent as a cut marker; Send
+	// rejects empty batches, so producers can never forge one.
+	cutMark []E
+	// pendingCuts counts cut markers not yet consumed by AtMost; adopted
+	// caches the snapshot the actor last adopted. Both live on the producer
+	// side of the protocol and are only touched from the actor goroutine.
+	pendingCuts int
+	adopted     *S
 }
 
 // New starts a learner goroutine. apply consumes one experience; publish
@@ -55,13 +79,17 @@ func New[E, S any](apply func(E), publish func() *S, batchCap int) *Learner[E, S
 	l := &Learner[E, S]{
 		in:       make(chan []E, 4),
 		flushed:  make(chan *S),
+		acks:     make(chan *S, MaxStaleness+1),
 		free:     make(chan []E, 8),
 		done:     make(chan struct{}),
 		apply:    apply,
 		publish:  publish,
 		batchCap: batchCap,
+		cutMark:  make([]E, 0),
 	}
-	l.snap.Store(publish())
+	s := publish()
+	l.snap.Store(s)
+	l.adopted = s
 	go l.run()
 	return l
 }
@@ -73,6 +101,13 @@ func (l *Learner[E, S]) run() {
 			s := l.publish()
 			l.snap.Store(s)
 			l.flushed <- s
+			continue
+		}
+		if len(batch) == 0 {
+			// Epoch-cut marker: publish and acknowledge asynchronously.
+			s := l.publish()
+			l.snap.Store(s)
+			l.acks <- s
 			continue
 		}
 		for i := range batch {
@@ -98,7 +133,12 @@ func (l *Learner[E, S]) NewBatch() []E {
 
 // Send transfers ownership of a filled batch to the learner. The caller
 // must not touch the slice afterwards — take a fresh one from NewBatch.
+// Send after Close is a protocol violation and panics eagerly, before the
+// closed channel would.
 func (l *Learner[E, S]) Send(batch []E) {
+	if l.closed {
+		panic("parallel: Send after Close")
+	}
 	if len(batch) == 0 {
 		return
 	}
@@ -107,28 +147,81 @@ func (l *Learner[E, S]) Send(batch []E) {
 
 // Flush blocks until every batch sent so far has been applied, then has
 // the learner publish and return a fresh snapshot. This is the epoch
-// boundary: the returned snapshot depends only on the sent experience
-// sequence, never on goroutine scheduling.
+// boundary at staleness zero: the returned snapshot depends only on the
+// sent experience sequence, never on goroutine scheduling. After Close it
+// returns the final snapshot without touching the stopped goroutine.
+//
+//chromevet:rawsnap
 func (l *Learner[E, S]) Flush() *S {
+	if l.closed {
+		return l.adopted
+	}
 	l.in <- nil
-	return <-l.flushed
+	// Cut acknowledgements for markers queued before this flush arrive
+	// strictly before the flush answer; fold them into the adopted state so
+	// staleness bookkeeping stays consistent across a flush.
+	for l.pendingCuts > 0 {
+		<-l.acks
+		l.pendingCuts--
+	}
+	s := <-l.flushed
+	l.adopted = s
+	return s
 }
 
-// Current returns the most recently published snapshot (lock-free).
+// Cut marks an epoch boundary without waiting for it: the learner will
+// publish a snapshot reflecting exactly the batches sent before the cut
+// and acknowledge it in boundary order. AtMost consumes the
+// acknowledgements; at most MaxStaleness cuts may be outstanding.
+func (l *Learner[E, S]) Cut() {
+	if l.closed {
+		panic("parallel: Cut after Close")
+	}
+	if l.pendingCuts >= MaxStaleness+1 {
+		panic("parallel: too many outstanding cuts; call AtMost")
+	}
+	l.in <- l.cutMark //chromevet:allow msgown -- the cut marker is a shared empty sentinel; neither side ever reads or writes its elements
+	l.pendingCuts++
+}
+
+// AtMost returns a published snapshot at most `epochs` cut boundaries
+// stale, consuming outstanding cut acknowledgements until the bound holds.
+// At epochs = 0 it blocks until every cut has been answered, making it
+// exactly the synchronous Flush handshake; larger bounds let the actor run
+// ahead of the learner, trading snapshot freshness for throughput while
+// staying deterministic — the adopted snapshot is fixed by the experience
+// sequence and the bound, never by scheduling.
+//
+//chromevet:stalebound
+func (l *Learner[E, S]) AtMost(epochs int) *S {
+	if epochs < 0 || epochs > MaxStaleness {
+		panic("parallel: staleness bound out of range")
+	}
+	for l.pendingCuts > epochs {
+		l.adopted = <-l.acks
+		l.pendingCuts--
+	}
+	return l.adopted
+}
+
+// Current returns the most recently published snapshot (lock-free). Most
+// consumers should adopt through AtMost instead, which pins an explicit
+// staleness bound; Current is the raw fetch for the learner's own side.
+//
+//chromevet:rawsnap
 func (l *Learner[E, S]) Current() *S {
 	return l.snap.Load()
 }
 
 // Close flushes outstanding work, publishes a final snapshot, stops the
-// learner goroutine, and waits for it to exit. Safe to call once; the
-// Learner must not be used afterwards.
-func (l *Learner[E, S]) Close() *S {
+// learner goroutine, and waits for it to exit. Idempotent; after Close the
+// final snapshot remains readable through AtMost.
+func (l *Learner[E, S]) Close() {
 	if l.closed {
-		return l.snap.Load()
+		return
 	}
+	l.adopted = l.Flush()
 	l.closed = true
-	s := l.Flush()
 	close(l.in)
 	<-l.done
-	return s
 }

@@ -1,6 +1,12 @@
 package parallel
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"chrome/internal/mem"
+)
 
 func TestLearnerAppliesInOrderAndFlushes(t *testing.T) {
 	var got []int
@@ -33,7 +39,8 @@ func TestLearnerAppliesInOrderAndFlushes(t *testing.T) {
 			t.Fatalf("apply order broken at %d: got %v", i, got)
 		}
 	}
-	if s := l.Close(); *s != 55 {
+	l.Close()
+	if s := l.AtMost(0); *s != 55 {
 		t.Fatalf("final snapshot = %d, want 55", *s)
 	}
 	l.Close() // idempotent
@@ -46,4 +53,154 @@ func TestNewRejectsNonPositiveBatch(t *testing.T) {
 		}
 	}()
 	New(func(int) {}, func() *int { return new(int) }, 0)
+}
+
+// TestCutAtMostBoundedStaleness pins the exact-lag semantics of the
+// Cut/AtMost protocol: with a bound of k the adopted snapshot is the one
+// published k cut boundaries ago, independent of scheduling, and a bound
+// of 0 degenerates to the synchronous Flush handshake.
+func TestCutAtMostBoundedStaleness(t *testing.T) {
+	sum := 0
+	l := New(
+		func(e int) { sum += e },
+		func() *int { s := sum; return &s },
+		2,
+	)
+	send := func(v int) {
+		b := l.NewBatch()
+		l.Send(append(b, v))
+	}
+	// Boundary 1: sum=1. Bound 1 keeps the initial snapshot.
+	send(1)
+	l.Cut()
+	if s := l.AtMost(1); *s != 0 {
+		t.Fatalf("boundary 1 at bound 1 adopted %d, want 0 (initial)", *s)
+	}
+	// Boundary 2: sum=3. Bound 1 adopts boundary 1's snapshot.
+	send(2)
+	l.Cut()
+	if s := l.AtMost(1); *s != 1 {
+		t.Fatalf("boundary 2 at bound 1 adopted %d, want 1", *s)
+	}
+	// Bound 0 catches up to the latest boundary.
+	if s := l.AtMost(0); *s != 3 {
+		t.Fatalf("bound 0 adopted %d, want 3", *s)
+	}
+	// Boundary 3 at bound 0 is the synchronous handshake.
+	send(3)
+	l.Cut()
+	if s := l.AtMost(0); *s != 6 {
+		t.Fatalf("boundary 3 at bound 0 adopted %d, want 6", *s)
+	}
+	l.Close()
+}
+
+// waitGoroutines polls for the baseline goroutine count to recover; the
+// runtime needs a beat to unwind an exiting goroutine.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > want {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLearnerLifecycleEdges drains the awkward shutdown orders cleanly:
+// Flush after Close, double Close, and Close with batches still queued all
+// terminate without leaking the learner goroutine.
+func TestLearnerLifecycleEdges(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	t.Run("FlushAfterClose", func(t *testing.T) {
+		sum := 0
+		l := New(func(e int) { sum += e }, func() *int { s := sum; return &s }, 2)
+		l.Send(append(l.NewBatch(), 7))
+		l.Close()
+		if s := l.Flush(); *s != 7 {
+			t.Fatalf("Flush after Close = %d, want final snapshot 7", *s)
+		}
+		if s := l.AtMost(0); *s != 7 {
+			t.Fatalf("AtMost after Close = %d, want 7", *s)
+		}
+	})
+
+	t.Run("DoubleClose", func(t *testing.T) {
+		l := New(func(int) {}, func() *int { return new(int) }, 2)
+		l.Close()
+		l.Close()
+	})
+
+	t.Run("CloseWithQueuedBatches", func(t *testing.T) {
+		sum := 0
+		l := New(func(e int) { sum += e }, func() *int { s := sum; return &s }, 1)
+		// Fill the channel buffer without flushing: Close must drain them.
+		for i := 1; i <= 4; i++ {
+			l.Send(append(l.NewBatch(), i))
+		}
+		l.Cut() // leave a cut outstanding across Close too
+		l.Close()
+		if s := l.AtMost(0); *s != 10 {
+			t.Fatalf("drained snapshot = %d, want 10", *s)
+		}
+	})
+
+	t.Run("SendAfterClosePanics", func(t *testing.T) {
+		l := New(func(int) {}, func() *int { return new(int) }, 2)
+		l.Close()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Send after Close did not panic")
+			}
+		}()
+		l.Send(append(l.NewBatch(), 1))
+	})
+
+	waitGoroutines(t, base)
+}
+
+// TestShardsMergeRestoresEmissionOrder drives the sharded pool with
+// interleaved per-core emissions and checks the Cut handoff returns them
+// in exact global emission order at every shard count.
+func TestShardsMergeRestoresEmissionOrder(t *testing.T) {
+	const cores, emits = 8, 100
+	for _, nshards := range []int{1, 2, 3, 8} {
+		sh := NewShards[int](nshards, cores, 4)
+		want := make([]int, 0, emits)
+		for i := 0; i < emits; i++ {
+			sh.Emit(mem.CoreIDOf(i*7%cores), i)
+			want = append(want, i)
+		}
+		run := sh.Cut()
+		if len(run) != emits {
+			t.Fatalf("nshards=%d: merged %d experiences, want %d", nshards, len(run), emits)
+		}
+		for i := range run {
+			if run[i].E != want[i] || run[i].Seq != uint64(i+1) {
+				t.Fatalf("nshards=%d: merge broke emission order at %d: %+v", nshards, i, run[i])
+			}
+		}
+		// A second epoch reuses the drained pool.
+		sh.Emit(mem.CoreIDOf(3), 999)
+		if run := sh.Cut(); len(run) != 1 || run[0].E != 999 {
+			t.Fatalf("nshards=%d: second epoch run = %+v, want [999]", nshards, run)
+		}
+		sh.Close()
+		sh.Close() // idempotent
+	}
+}
+
+// TestShardsCloseJoinsWorkers checks every shard worker goroutine exits on
+// Close (before/after goroutine count).
+func TestShardsCloseJoinsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sh := NewShards[int](4, 8, 2)
+	for i := 0; i < 32; i++ {
+		sh.Emit(mem.CoreIDOf(i%8), i)
+	}
+	_ = sh.Cut()
+	sh.Close()
+	waitGoroutines(t, base)
 }

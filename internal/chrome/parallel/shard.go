@@ -1,0 +1,230 @@
+package parallel
+
+import "chrome/internal/mem"
+
+// This file implements the sharded actor pool of the actor/learner split:
+// per-core experience staging fanned out to N shard worker goroutines,
+// joined at every epoch cut and merged back into global emission order.
+// The ownership model is certified by chromevet's shardown/joinsync
+// analyzers (DESIGN.md §6.5): the per-core pending buffers are annotated
+// //chromevet:sharded byCore — only the owning core's mem.CoreID may index
+// them — and every worker goroutine is provably joined (the Cut handshake)
+// before its merged run is read back.
+//
+// Determinism contract: every experience is stamped with a global
+// monotonically increasing sequence number on the emitting goroutine.
+// Workers keep their shard's experiences as a seq-sorted run; Cut joins
+// all workers and k-way merges the runs by stamp, so the merged epoch
+// batch is exactly the emission order regardless of how batches raced
+// through the shard channels.
+
+// Stamped pairs an experience with its global emission sequence number —
+// the key that lets shard-local runs merge back into emission order.
+type Stamped[E any] struct {
+	Seq uint64
+	E   E
+}
+
+// Shards is the sharded actor pool. Emit runs on the producer (simulation)
+// goroutine; each of the nshards workers owns the cores c with
+// c mod nshards == shard and merges their batches into one sorted run.
+type Shards[E any] struct {
+	// in[s] carries seq-sorted batches to worker s; a nil batch is the
+	// epoch-cut marker. Ownership of each batch moves with the send.
+	//
+	//chromevet:transfer
+	in []chan []Stamped[E]
+
+	// out[s] answers each cut marker with worker s's merged run for the
+	// epoch; receiving it is the join handshake — after the receive the run
+	// is owned by the caller and the worker holds no epoch state.
+	out []chan []Stamped[E]
+	// free recycles drained batch buffers back to the producer.
+	free chan []Stamped[E]
+	// done[s] closes when worker s exits.
+	done []chan struct{}
+
+	// pending[c] buffers core c's experiences since its last handoff,
+	// seq-sorted by construction; only the emitting core's ID may index it.
+	//
+	//chromevet:sharded byCore
+	pending [][]Stamped[E]
+
+	nshards  int
+	batchCap int
+	seq      uint64
+	closed   bool
+}
+
+// NewShards starts nshards shard workers in front of a learner feed. Core
+// IDs are expected in [0, ncores); batchCap bounds the per-core staging
+// buffers, matching the learner's batch capacity.
+func NewShards[E any](nshards, ncores, batchCap int) *Shards[E] {
+	if nshards <= 0 || ncores <= 0 || batchCap <= 0 {
+		panic("parallel: shard, core, and batch counts must be positive")
+	}
+	sh := &Shards[E]{
+		in:       make([]chan []Stamped[E], nshards),
+		out:      make([]chan []Stamped[E], nshards),
+		free:     make(chan []Stamped[E], 2*nshards),
+		done:     make([]chan struct{}, nshards),
+		pending:  make([][]Stamped[E], ncores),
+		nshards:  nshards,
+		batchCap: batchCap,
+	}
+	for s := 0; s < nshards; s++ {
+		sh.in[s] = make(chan []Stamped[E], 4)
+		sh.out[s] = make(chan []Stamped[E])
+		sh.done[s] = make(chan struct{})
+		go sh.work(s)
+	}
+	return sh
+}
+
+// work is shard worker s: it folds every incoming batch into the shard's
+// seq-sorted run and answers each cut marker with the finished run, then
+// starts an empty one. Exits when the shard's channel closes; the deferred
+// close of done[s] is the termination handshake Close joins on.
+func (sh *Shards[E]) work(s int) {
+	defer close(sh.done[s])
+	var run []Stamped[E]
+	for batch := range sh.in[s] {
+		if batch == nil {
+			sh.out[s] <- run
+			run = nil
+			continue
+		}
+		run = mergeRuns(run, batch)
+		select {
+		case sh.free <- batch[:0]:
+		default: // producer has enough spares; let this one be collected
+		}
+	}
+}
+
+// owner maps a core to the shard worker that owns its experience stream.
+func (sh *Shards[E]) owner(core mem.CoreID) int {
+	return core.Int() % sh.nshards
+}
+
+// newBuf returns an empty staging buffer, preferring recycled ones.
+func (sh *Shards[E]) newBuf() []Stamped[E] {
+	select {
+	case b := <-sh.free:
+		return b
+	default:
+		return make([]Stamped[E], 0, sh.batchCap)
+	}
+}
+
+// Emit stamps one experience with the next global sequence number and
+// stages it in the emitting core's pending buffer, handing a filled buffer
+// to the owning shard worker. Runs on the producer goroutine.
+func (sh *Shards[E]) Emit(core mem.CoreID, e E) { //chromevet:allow aliasshare -- ownership transfer: emitted experiences move into the pool and on to the learner
+	if sh.closed {
+		panic("parallel: Emit after Close")
+	}
+	sh.seq++
+	buf := append(sh.pending[core.Int()], Stamped[E]{Seq: sh.seq, E: e})
+	if len(buf) >= sh.batchCap {
+		sh.in[sh.owner(core)] <- buf
+		buf = sh.newBuf()
+	}
+	sh.pending[core.Int()] = buf
+}
+
+// flushPending hands every core's partial staging buffer to its owning
+// shard. It runs on the producer goroutine, which exclusively owns the
+// pending array between epoch boundaries — the shardsafe annotation
+// records that exclusivity for the whole-array sweep.
+//
+//chromevet:shardsafe
+func (sh *Shards[E]) flushPending() {
+	for c := range sh.pending {
+		if len(sh.pending[c]) == 0 {
+			continue
+		}
+		sh.in[c%sh.nshards] <- sh.pending[c]
+		sh.pending[c] = sh.newBuf()
+	}
+}
+
+// Cut ends the epoch: it flushes every core's staging buffer, sends each
+// worker a cut marker, joins all workers by receiving their merged runs,
+// and k-way merges the runs back into global emission order. The returned
+// batch is exactly the epoch's experiences in emission order — the
+// deterministic handoff the learner feed relies on.
+//
+//chromevet:shardjoin
+func (sh *Shards[E]) Cut() []Stamped[E] {
+	if sh.closed {
+		panic("parallel: Cut after Close")
+	}
+	sh.flushPending()
+	for s := 0; s < sh.nshards; s++ {
+		sh.in[s] <- nil
+	}
+	runs := make([][]Stamped[E], sh.nshards)
+	for s := 0; s < sh.nshards; s++ {
+		runs[s] = <-sh.out[s]
+	}
+	return mergeAll(runs)
+}
+
+// Close stops the shard workers and waits for each to exit. Experiences
+// staged since the last Cut are discarded — callers Cut first to drain.
+// Idempotent.
+func (sh *Shards[E]) Close() {
+	if sh.closed {
+		return
+	}
+	sh.closed = true
+	for s := 0; s < sh.nshards; s++ {
+		close(sh.in[s])
+	}
+	for s := 0; s < sh.nshards; s++ {
+		<-sh.done[s]
+	}
+}
+
+// mergeRuns merges two seq-sorted runs into a fresh slice; both inputs may
+// be recycled by the caller afterwards.
+func mergeRuns[E any](a, b []Stamped[E]) []Stamped[E] {
+	out := make([]Stamped[E], 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Seq <= b[j].Seq {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mergeAll k-way merges seq-sorted runs into emission order. Shard counts
+// are small, so a repeated min-head scan beats heap bookkeeping.
+func mergeAll[E any](runs [][]Stamped[E]) []Stamped[E] {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Stamped[E], 0, total)
+	for len(out) < total {
+		best := -1
+		for s, r := range runs {
+			if len(r) == 0 {
+				continue
+			}
+			if best < 0 || r[0].Seq < runs[best][0].Seq {
+				best = s
+			}
+		}
+		out = append(out, runs[best][0])
+		runs[best] = runs[best][1:]
+	}
+	return out
+}

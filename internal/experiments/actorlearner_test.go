@@ -36,6 +36,76 @@ func TestActorLearnerMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestShardedMatchesSequential is the experiment-level determinism gate of
+// the sharded actor pool: fig12 must render byte-identical output between
+// -actorlearner seq and the sharded parallel pipeline at staleness 0, and
+// between seq emulation and the sharded pipeline at a non-zero staleness
+// bound. CI repeats the staleness-0 comparison end-to-end through the CLI
+// (cmp of -outdir CSVs for fig11 and fig12).
+func TestShardedMatchesSequential(t *testing.T) {
+	seq := tinyScale()
+	seq.ActorLearner = "seq"
+	want := renderReports(Fig12(seq))
+
+	sharded := tinyScale()
+	sharded.ActorLearner = "par"
+	sharded.ActorShards = 4
+	if got := renderReports(Fig12(sharded)); got != want {
+		t.Fatalf("fig12 output diverges between seq and sharded actors at staleness 0:\n--- seq ---\n%s--- sharded ---\n%s", want, got)
+	}
+
+	staleSeq := tinyScale()
+	staleSeq.ActorLearner = "seq"
+	staleSeq.SnapshotStaleness = 2
+	stalePar := tinyScale()
+	stalePar.ActorLearner = "par"
+	stalePar.ActorShards = 2
+	stalePar.SnapshotStaleness = 2
+	s := renderReports(Fig12(staleSeq))
+	p := renderReports(Fig12(stalePar))
+	if s != p {
+		t.Fatalf("fig12 output diverges between modes at staleness 2:\n--- seq ---\n%s--- sharded ---\n%s", s, p)
+	}
+}
+
+// TestScaleValidate covers the friendly-error path CLI flag validation
+// reports through: bad selectors name the valid modes instead of
+// panicking deep in a runner.
+func TestScaleValidate(t *testing.T) {
+	ok := []Scale{
+		{},
+		{ActorLearner: "par", ActorShards: 4, SnapshotStaleness: 8},
+		{ActorLearner: "seq", SnapshotStaleness: 1},
+	}
+	for _, sc := range ok {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", sc, err)
+		}
+	}
+	bad := map[string]Scale{
+		"unknown mode":           {ActorLearner: "bogus"},
+		"negative shards":        {ActorLearner: "par", ActorShards: -1},
+		"shards without par":     {ActorLearner: "seq", ActorShards: 2},
+		"negative staleness":     {ActorLearner: "par", SnapshotStaleness: -1},
+		"huge staleness":         {ActorLearner: "par", SnapshotStaleness: 1 << 20},
+		"staleness while inline": {SnapshotStaleness: 3},
+	}
+	for name, sc := range bad {
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate(%+v) = nil, want error", name, sc)
+			continue
+		}
+		if strings.Contains(err.Error(), "panic") {
+			t.Errorf("%s: error leaks panic text: %v", name, err)
+		}
+	}
+	if _, err := (Scale{ActorLearner: "bogus"}).LearnerMode(); err == nil ||
+		!strings.Contains(err.Error(), "inline, seq, par") {
+		t.Fatalf("LearnerMode error should list valid modes, got %v", err)
+	}
+}
+
 func TestLearnerModeParsing(t *testing.T) {
 	for sel, want := range map[string]chrome.LearnerMode{
 		"": chrome.LearnerInline, "inline": chrome.LearnerInline,

@@ -11,6 +11,7 @@ import (
 
 	"chrome/internal/cache"
 	"chrome/internal/chrome"
+	"chrome/internal/chrome/parallel"
 	"chrome/internal/mem"
 	"chrome/internal/metrics"
 	"chrome/internal/policy"
@@ -52,19 +53,66 @@ type Scale struct {
 	// (TestActorLearnerMatchesSequential); only non-CHROME schemes are
 	// unaffected.
 	ActorLearner string
+	// ActorShards >= 1 stages CHROME experiences in the sharded actor pool
+	// with that many shard workers ("par" mode only; DESIGN.md §6.5). 0
+	// streams batches straight to the learner. Byte-identical at equal
+	// seeds and staleness for every value.
+	ActorShards int
+	// SnapshotStaleness bounds how many epoch boundaries the agents'
+	// adopted decision snapshot may lag the learner (0 = synchronous
+	// adoption). Deterministic at every bound; non-zero bounds trade
+	// decision freshness for pipeline throughput.
+	SnapshotStaleness int
 }
 
-// learnerMode parses the ActorLearner selector.
-func (sc Scale) learnerMode() chrome.LearnerMode {
+// LearnerMode parses the ActorLearner selector, returning an error naming
+// the valid modes — the friendly path CLI flag validation reports through.
+func (sc Scale) LearnerMode() (chrome.LearnerMode, error) {
 	switch sc.ActorLearner {
 	case "", "inline":
-		return chrome.LearnerInline
+		return chrome.LearnerInline, nil
 	case "seq":
-		return chrome.LearnerSeq
+		return chrome.LearnerSeq, nil
 	case "par":
-		return chrome.LearnerPar
+		return chrome.LearnerPar, nil
 	}
-	panic(fmt.Sprintf("experiments: unknown actor/learner mode %q (have inline, seq, par)", sc.ActorLearner))
+	return chrome.LearnerInline, fmt.Errorf(
+		"unknown actor/learner mode %q (valid modes: inline, seq, par)", sc.ActorLearner)
+}
+
+// Validate checks the actor/learner selection as a whole: the mode
+// selector, the shard count, and the staleness bound, including their
+// cross-constraints. CLI front ends call it once after flag parsing so a
+// bad value dies with a friendly message instead of panicking deep in a
+// runner.
+func (sc Scale) Validate() error {
+	mode, err := sc.LearnerMode()
+	if err != nil {
+		return err
+	}
+	if sc.ActorShards < 0 {
+		return fmt.Errorf("actor shard count %d is negative (valid: 0 = unsharded, or a positive worker count)", sc.ActorShards)
+	}
+	if sc.ActorShards > 0 && mode != chrome.LearnerPar {
+		return fmt.Errorf("actor sharding requires -actorlearner par (have %q; valid modes: inline, seq, par)", sc.ActorLearner)
+	}
+	if sc.SnapshotStaleness < 0 || sc.SnapshotStaleness > parallel.MaxStaleness {
+		return fmt.Errorf("snapshot staleness %d out of range [0, %d]", sc.SnapshotStaleness, parallel.MaxStaleness)
+	}
+	if sc.SnapshotStaleness > 0 && mode == chrome.LearnerInline {
+		return fmt.Errorf("snapshot staleness requires -actorlearner seq or par (have %q)", sc.ActorLearner)
+	}
+	return nil
+}
+
+// learnerMode parses the ActorLearner selector, panicking on an unknown
+// value — programmatic misuse; CLI input goes through Validate first.
+func (sc Scale) learnerMode() chrome.LearnerMode {
+	mode, err := sc.LearnerMode()
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return mode
 }
 
 // budget is the per-core instruction window a recording must cover for a
@@ -339,7 +387,11 @@ func runMix(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig,
 		factory = func(sets, ways, cores int, obstructed func(mem.CoreID) bool) cache.Policy {
 			p := inner(sets, ways, cores, obstructed)
 			if a, ok := p.(*chrome.Agent); ok {
-				a.SetLearner(mode)
+				a.SetLearnerOptions(chrome.LearnerOptions{
+					Mode:      mode,
+					Shards:    sc.ActorShards,
+					Staleness: sc.SnapshotStaleness,
+				})
 			}
 			made = append(made, p)
 			return p
