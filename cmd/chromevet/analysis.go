@@ -96,6 +96,7 @@ func Analyzers() []*Analyzer {
 		analyzerGlobalMut(),
 		analyzerConcPrim(),
 		analyzerHotAlloc(),
+		analyzerHotIface(),
 		analyzerFrozenShare(),
 		analyzerUnits(),
 		analyzerHwWidth(),

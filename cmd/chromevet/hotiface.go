@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerHotIface guards the devirtualized hot path (DESIGN.md §9):
+// functions annotated "//chromevet:hot" form the certified per-access
+// path, and the monomorphized cache chain exists precisely so those
+// functions compile to direct, inlinable calls. A method call whose
+// receiver is an interface value re-introduces dynamic dispatch — the
+// compiler can neither inline through it nor prove anything about the
+// callee — so each one is flagged. Boundaries that are dynamic by design
+// (the single scheme-selection call at the LLC, per-configuration
+// prefetchers, trace generators) carry a "//chromevet:allow hotiface"
+// annotation naming why the dispatch is irreducible.
+func analyzerHotIface() *Analyzer {
+	return &Analyzer{
+		Name:  "hotiface",
+		Doc:   "interface method call inside a //chromevet:hot function",
+		Scope: ScopeInternal,
+		Run:   runHotIface,
+	}
+}
+
+func runHotIface(pass *Pass) []Finding {
+	var out []Finding
+	for _, f := range pass.P.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotAnnotated(fd) {
+				continue
+			}
+			out = append(out, hotIfaceFindings(pass, fd)...)
+		}
+	}
+	return out
+}
+
+// hotIfaceFindings inspects one hot function's body for dynamic dispatch.
+func hotIfaceFindings(pass *Pass, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.P.Info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		if !types.IsInterface(selection.Recv()) {
+			return true
+		}
+		out = append(out, Finding{
+			Analyzer: "hotiface",
+			Pos:      pass.pos(call.Pos()),
+			Message: fmt.Sprintf(
+				"interface method call %s.%s in hot function %s: dynamic dispatch blocks inlining on the //chromevet:hot path (use the monomorphized type, or annotate the irreducible boundary)",
+				types.TypeString(selection.Recv(), types.RelativeTo(pass.P.Pkg)), sel.Sel.Name, name),
+		})
+		return true
+	})
+	return out
+}

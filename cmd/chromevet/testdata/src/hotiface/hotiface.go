@@ -1,0 +1,65 @@
+// Package fixture exercises the hotiface analyzer: dynamic dispatch inside
+// functions annotated //chromevet:hot (the devirtualized per-access path,
+// DESIGN.md §9). Loaded by the driver test under
+// chrome/internal/vetfixture/hotiface so the internal scope applies.
+package fixture
+
+// policy is a stand-in for the cache.Policy interface.
+type policy interface {
+	Name() string
+	Victim(set int) int
+}
+
+// lru is a concrete implementation.
+type lru struct{ victims uint64 }
+
+func (*lru) Name() string { return "LRU" }
+
+func (p *lru) Victim(set int) int {
+	p.victims++
+	return set % 2
+}
+
+// level couples an interface-typed and a concrete policy field.
+type level struct {
+	dyn  policy
+	mono *lru
+	sink int
+}
+
+// dynamicDispatch calls through the interface value: flagged.
+//
+//chromevet:hot
+func (l *level) dynamicDispatch(set int) {
+	l.sink = l.dyn.Victim(set) // want hotiface "interface method call"
+}
+
+// dynamicParam dispatches on an interface-typed parameter: flagged.
+//
+//chromevet:hot
+func dynamicParam(p policy, set int) int {
+	return p.Victim(set) // want hotiface "dynamic dispatch blocks inlining"
+}
+
+// monomorphic calls the concrete type directly: not flagged.
+//
+//chromevet:hot
+func (l *level) monomorphic(set int) {
+	l.sink = l.mono.Victim(set)
+}
+
+// annotatedBoundary is an irreducible scheme-selection boundary: the allow
+// comment names why the dispatch stays, so no finding.
+//
+//chromevet:hot
+func (l *level) annotatedBoundary(set int) {
+	l.sink = l.dyn.Victim(set) //chromevet:allow hotiface -- scheme-selection boundary: the policy is chosen by string at run time
+}
+
+// coldDispatch has no hot annotation, so its dispatch is none of the
+// analyzer's business.
+func (l *level) coldDispatch(set int) {
+	l.sink = l.dyn.Victim(set)
+}
+
+var _ = []any{(*level).dynamicDispatch, dynamicParam, (*level).monomorphic, (*level).annotatedBoundary, (*level).coldDispatch}

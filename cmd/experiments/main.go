@@ -47,6 +47,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		replay   = flag.Bool("replay", true, "record each workload stream once and replay it across schemes and cells")
 		traceDir = flag.String("tracedir", "", "persist recordings to this directory and reuse them across runs (implies -replay)")
+		monoOn   = flag.Bool("mono", true, "use the monomorphized per-scheme access loop; -mono=false forces interface dispatch (byte-identical output, slower)")
 		actorAL  = flag.String("actorlearner", "inline", "CHROME update path: inline | seq | par (seq and par are byte-identical at equal seeds)")
 		shards   = flag.Int("actorshards", 0, "shard the CHROME actor pool across N workers (requires -actorlearner par; 0 = unsharded)")
 		stale    = flag.Int("staleness", 0, "epoch boundaries the adopted decision snapshot may lag the learner (deterministic at every bound)")
@@ -106,6 +107,7 @@ func main() {
 	}
 	sc.Parallelism = *jobs
 	sc.NoReplay = !*replay && *traceDir == ""
+	sc.NoMono = !*monoOn
 	sc.ActorLearner = *actorAL
 	sc.ActorShards = *shards
 	sc.SnapshotStaleness = *stale
@@ -159,6 +161,11 @@ func main() {
 		}
 	}
 
+	// Throughput numbers are only comparable with the environment pinned;
+	// report it up front so every sim_MIPS figure below is attributable.
+	fmt.Printf("env: %s, GOMAXPROCS=%d, access loop=%s\n\n",
+		runtime.Version(), runtime.GOMAXPROCS(0), accessLoop(sc))
+
 	start := time.Now()
 	var all []experiments.Report
 	for _, r := range runners {
@@ -189,6 +196,17 @@ func main() {
 		}
 		fmt.Println("wrote", *mdOut)
 	}
+}
+
+// accessLoop names the cache access chain the Scale selects: the
+// monomorphized per-scheme loop (default) or the interface-dispatched
+// fallback (-mono=false). Schemes outside the mono registry fall back to
+// interface dispatch regardless; all registered schemes honour this.
+func accessLoop(sc experiments.Scale) string {
+	if sc.NoMono {
+		return "interface"
+	}
+	return "mono"
 }
 
 // genSplit formats the generation-vs-simulation wall-clock split of a

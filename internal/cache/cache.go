@@ -314,7 +314,7 @@ func (c *Cache) onHit(setIdx mem.SetIdx, way int, set []Block, acc mem.Access) R
 		}
 		b.Used = true
 	}
-	c.policy.OnHit(setIdx, way, set, acc)
+	c.policy.OnHit(setIdx, way, set, acc) //chromevet:allow hotiface -- interface fallback path: registered schemes run the devirtualized mono chain instead (DESIGN.md §9)
 	return res
 }
 
@@ -334,7 +334,7 @@ func (c *Cache) onMiss(setIdx mem.SetIdx, set []Block, acc mem.Access) Result {
 		return Result{}
 	}
 
-	way, bypass := c.policy.Victim(setIdx, set, acc)
+	way, bypass := c.policy.Victim(setIdx, set, acc) //chromevet:allow hotiface -- interface fallback path: registered schemes run the devirtualized mono chain instead (DESIGN.md §9)
 	if bypass {
 		c.stats.Bypasses++
 		if c.bypassTracker != nil {
@@ -343,7 +343,7 @@ func (c *Cache) onMiss(setIdx mem.SetIdx, set []Block, acc mem.Access) Result {
 		return Result{Bypassed: true}
 	}
 	if way < 0 || way >= c.cfg.Ways {
-		panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.cfg.Name, c.policy.Name(), way))
+		panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.cfg.Name, c.policy.Name(), way)) //chromevet:allow hotiface -- panic path, never taken on the steady-state loop
 	}
 
 	res := Result{}
@@ -369,7 +369,7 @@ func (c *Cache) onMiss(setIdx mem.SetIdx, set []Block, acc mem.Access) Result {
 			Used:       victim.Used,
 			Prefetched: victim.Prefetched,
 		}
-		c.policy.OnEvict(setIdx, way, set)
+		c.policy.OnEvict(setIdx, way, set) //chromevet:allow hotiface -- interface fallback path: registered schemes run the devirtualized mono chain instead (DESIGN.md §9)
 	}
 
 	*victim = Block{
@@ -388,7 +388,7 @@ func (c *Cache) onMiss(setIdx mem.SetIdx, set []Block, acc mem.Access) Result {
 		c.stats.PrefetchFills++
 	}
 	res.Block = victim
-	c.policy.OnFill(setIdx, way, set, acc)
+	c.policy.OnFill(setIdx, way, set, acc) //chromevet:allow hotiface -- interface fallback path: registered schemes run the devirtualized mono chain instead (DESIGN.md §9)
 	return res
 }
 

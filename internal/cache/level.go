@@ -1,0 +1,32 @@
+package cache
+
+import "chrome/internal/mem"
+
+// Level is the cache-level contract the simulator drives: the generic
+// interface-dispatched *Cache and the monomorphized per-scheme caches of
+// internal/cache/mono both satisfy it. The simulator keeps hot access
+// chains on concrete types and uses Level only for cold operations (stats,
+// reset, tracker installation, test accessors) plus the single annotated
+// dynamic boundary at the shared LLC (see DESIGN.md §9).
+type Level interface {
+	// Access performs one request against the level.
+	Access(acc mem.Access) Result
+	// Probe reports presence without side effects.
+	Probe(a mem.Addr) bool
+	// Config returns the level's geometry.
+	Config() Config
+	// Policy returns the installed policy.
+	Policy() Policy
+	// Stats returns a pointer to the level's counters.
+	Stats() *Stats
+	// ResetStats zeroes the counters and starts a new stats epoch.
+	ResetStats()
+	// SetEvictionTracker installs an optional unused-eviction tracker.
+	SetEvictionTracker(*ReuseTracker)
+	// SetBypassTracker installs an optional bypass-efficiency tracker.
+	SetBypassTracker(*ReuseTracker)
+	// Invalidate removes the block holding addr, if present.
+	Invalidate(a mem.Addr) (present, dirty bool)
+}
+
+var _ Level = (*Cache)(nil)

@@ -1,0 +1,169 @@
+// Package mono holds monomorphized per-scheme cache levels: one generated
+// cache type per registered LLC scheme (plus the LRU used at L1/L2), each
+// structurally identical to cache.Cache but with the policy stored as its
+// concrete type. The four per-access policy hooks (Victim/OnHit/OnFill/
+// OnEvict) become direct calls the compiler can inline end-to-end, removing
+// the dynamic dispatch that caps the simulator's throughput (DESIGN.md §9).
+//
+// The generated types are produced by ./gen ("go generate ./..."); the
+// access-loop template lives there, so behaviour changes to cache.Cache must
+// be mirrored in gen/main.go and regenerated. Every generated cache is gated
+// byte-identical to the interface path by TestMonoMatchesInterface.
+package mono
+
+//go:generate go run ./gen
+
+import (
+	"fmt"
+
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// invalidTag marks an empty way in the tags mirror. Block addresses are
+// full addresses shifted right by BlockShift, so a real tag can never be
+// all-ones.
+const invalidTag = ^uint64(0)
+
+// base carries the scheme-independent cache state and cold-path methods
+// shared by every generated cache. It mirrors cache.Cache exactly, plus a
+// structure-of-arrays tags mirror so the per-access hit scan touches 8
+// bytes per way instead of a full cache.Block.
+type base struct {
+	cfg     cache.Config
+	setMask uint64
+	blocks  []cache.Block // sets*ways, row-major by set
+	// tags[i] is blocks[i].Tag when blocks[i].Valid, invalidTag otherwise;
+	// the generated access loops keep the mirror in sync on fill and the
+	// base does on invalidate (simcheck builds verify the invariant after
+	// every access).
+	tags []uint64
+	// touch[i] is blocks[i].LastTouch as a raw cycle count, maintained by
+	// the generated access loops on every hit and fill. lruVictim scans it
+	// instead of the 64-byte blocks; stale values under invalid ways are
+	// never read because the invalid scan runs first.
+	touch []uint64
+	// valid[s] counts the valid ways of set s (filled on allocation,
+	// drained by Invalidate). Once a set saturates — the steady state for
+	// the whole run — lruVictim skips its first-invalid scan entirely.
+	valid []uint16
+	stats cache.Stats
+	epoch uint32 // stats generation, bumped by ResetStats
+
+	evictTracker  *cache.ReuseTracker
+	bypassTracker *cache.ReuseTracker
+}
+
+// init sizes the arrays, enforcing the same geometry contract as cache.New.
+func (b *base) init(cfg cache.Config) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets must be a positive power of two, got %d", cfg.Name, cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive, got %d", cfg.Name, cfg.Ways))
+	}
+	b.cfg = cfg
+	b.setMask = uint64(cfg.Sets - 1)
+	b.blocks = make([]cache.Block, cfg.Sets*cfg.Ways)
+	b.tags = make([]uint64, cfg.Sets*cfg.Ways)
+	for i := range b.tags {
+		b.tags[i] = invalidTag
+	}
+	b.touch = make([]uint64, cfg.Sets*cfg.Ways)
+	b.valid = make([]uint16, cfg.Sets)
+}
+
+// Config implements cache.Level.
+func (b *base) Config() cache.Config { return b.cfg }
+
+// Stats implements cache.Level.
+func (b *base) Stats() *cache.Stats { return &b.stats }
+
+// ResetStats implements cache.Level.
+func (b *base) ResetStats() {
+	b.stats = cache.Stats{}
+	b.epoch++
+}
+
+// SetEvictionTracker implements cache.Level.
+func (b *base) SetEvictionTracker(t *cache.ReuseTracker) { b.evictTracker = t } //chromevet:allow aliasshare -- ownership transfer: callers build one tracker per system
+
+// SetBypassTracker implements cache.Level.
+func (b *base) SetBypassTracker(t *cache.ReuseTracker) { b.bypassTracker = t } //chromevet:allow aliasshare -- ownership transfer: callers build one tracker per system
+
+// SetIndex returns the set index for an address.
+//
+//chromevet:hot
+func (b *base) SetIndex(a mem.Addr) mem.SetIdx {
+	return a.Block().Set(b.setMask)
+}
+
+// findWay scans the tags mirror of the set starting at block index sb and
+// returns the way holding tag, or -1. First-match order is identical to
+// cache.Cache's valid+tag scan because the mirror holds invalidTag for
+// empty ways.
+//
+//chromevet:hot
+func (b *base) findWay(sb int, tag mem.BlockAddr) int {
+	t := tag.Uint64()
+	tags := b.tags[sb : sb+b.cfg.Ways]
+	for w := range tags {
+		if tags[w] == t {
+			return w
+		}
+	}
+	return -1
+}
+
+// lruVictim replicates policy.LRU.Victim on the structure-of-arrays
+// mirrors: the first invalid way if any (same first-match order as
+// policy.invalidWay), otherwise the way with the smallest last-touch cycle
+// under the same strict-< first-minimum tie-break as policy.lruWay. The
+// first-invalid scan is skipped outright once the set's valid count has
+// saturated — the steady state after warmup. LRU never bypasses, so the
+// generated LRU cache substitutes this for the policy call and
+// TestMonoMatchesInterface holds the results identical.
+//
+//chromevet:hot
+func (b *base) lruVictim(si, sb int) int {
+	if int(b.valid[si]) != b.cfg.Ways {
+		tags := b.tags[sb : sb+b.cfg.Ways]
+		for w := range tags {
+			if tags[w] == invalidTag {
+				return w
+			}
+		}
+	}
+	touch := b.touch[sb : sb+b.cfg.Ways]
+	best, bestTouch := 0, ^uint64(0)
+	for w := range touch {
+		if touch[w] < bestTouch {
+			best, bestTouch = w, touch[w]
+		}
+	}
+	return best
+}
+
+// Probe implements cache.Level.
+//
+//chromevet:hot
+func (b *base) Probe(a mem.Addr) bool {
+	sb := b.SetIndex(a).Int() * b.cfg.Ways
+	return b.findWay(sb, a.Block()) >= 0
+}
+
+// Invalidate implements cache.Level.
+func (b *base) Invalidate(a mem.Addr) (present, dirty bool) {
+	si := b.SetIndex(a).Int()
+	sb := si * b.cfg.Ways
+	w := b.findWay(sb, a.Block())
+	if w < 0 {
+		return false, false
+	}
+	blk := &b.blocks[sb+w]
+	present, dirty = true, blk.Dirty
+	*blk = cache.Block{}
+	b.tags[sb+w] = invalidTag
+	b.valid[si]--
+	return present, dirty
+}

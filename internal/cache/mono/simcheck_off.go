@@ -1,0 +1,12 @@
+//go:build !simcheck
+
+package mono
+
+import (
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// checkSet is a no-op in normal builds; build with -tags simcheck to
+// validate set and tags-mirror invariants after every access.
+func (b *base) checkSet(cache.Policy, mem.SetIdx) {}

@@ -1,0 +1,64 @@
+//go:build simcheck
+
+package mono
+
+import (
+	"fmt"
+
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+)
+
+// checkSet validates one set's invariants after a state transition: the
+// tags mirror must agree with the blocks, no two valid ways may hold the
+// same tag, and a policy implementing InvariantChecker must report its
+// per-set metadata consistent. Without -tags simcheck this compiles to an
+// empty function (see simcheck_off.go).
+func (b *base) checkSet(p cache.Policy, idx mem.SetIdx) {
+	sb := idx.Int() * b.cfg.Ways
+	set := b.blocks[sb : sb+b.cfg.Ways]
+	for i := range set {
+		want := invalidTag
+		if set[i].Valid {
+			want = set[i].Tag.Uint64()
+		}
+		if b.tags[sb+i] != want {
+			panic(fmt.Sprintf("simcheck: mono cache %s set %d way %d: tags mirror %#x disagrees with block tag %#x",
+				b.cfg.Name, idx, i, b.tags[sb+i], want))
+		}
+		// The touch mirror only matters for valid ways (lruVictim's recency
+		// scan runs after the invalid scan), so stale values under invalid
+		// ways are fine.
+		if set[i].Valid && b.touch[sb+i] != set[i].LastTouch.Uint64() {
+			panic(fmt.Sprintf("simcheck: mono cache %s set %d way %d: touch mirror %d disagrees with block LastTouch %d",
+				b.cfg.Name, idx, i, b.touch[sb+i], set[i].LastTouch.Uint64()))
+		}
+	}
+	validCount := 0
+	for i := range set {
+		if set[i].Valid {
+			validCount++
+		}
+	}
+	if int(b.valid[idx.Int()]) != validCount {
+		panic(fmt.Sprintf("simcheck: mono cache %s set %d: valid counter %d disagrees with %d valid blocks",
+			b.cfg.Name, idx, b.valid[idx.Int()], validCount))
+	}
+	for i := range set {
+		if !set[i].Valid {
+			continue
+		}
+		for j := i + 1; j < len(set); j++ {
+			if set[j].Valid && set[j].Tag == set[i].Tag {
+				panic(fmt.Sprintf("simcheck: cache %s set %d: duplicate valid tag %#x in ways %d and %d",
+					b.cfg.Name, idx, set[i].Tag, i, j))
+			}
+		}
+	}
+	if ic, ok := p.(cache.InvariantChecker); ok {
+		if err := ic.CheckSetInvariants(idx); err != nil {
+			panic(fmt.Sprintf("simcheck: cache %s set %d: policy %s invariant violated: %v",
+				b.cfg.Name, idx, p.Name(), err))
+		}
+	}
+}

@@ -63,6 +63,11 @@ type Scale struct {
 	// adoption). Deterministic at every bound; non-zero bounds trade
 	// decision freshness for pipeline throughput.
 	SnapshotStaleness int
+	// NoMono forces the interface-dispatched cache chain instead of the
+	// monomorphized per-scheme access loop (DESIGN.md §9). Byte-identical
+	// output either way (TestMonoMatchesInterface); used by the CI
+	// equivalence gate and for attributing measured throughput.
+	NoMono bool
 }
 
 // LearnerMode parses the ActorLearner selector, returning an error naming
@@ -380,6 +385,7 @@ func runMix(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig,
 	cfg := sim.ScaledConfig(cores)
 	cfg.L1Prefetcher = pf.L1
 	cfg.L2Prefetcher = pf.L2
+	cfg.NoMono = sc.NoMono
 	factory := scheme.Factory
 	var made []cache.Policy
 	if mode := sc.learnerMode(); mode != chrome.LearnerInline {

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"chrome/internal/cache"
+	"chrome/internal/cache/mono"
+	"chrome/internal/mem"
+	"chrome/internal/sim"
+	"chrome/internal/workload"
+)
+
+// TestMonoRegistryComplete holds the mono registry to the scheme registry:
+// every scheme AllSchemes exposes at the CLI must have a generated mono
+// instantiation (internal/cache/mono/gen), or it would silently fall back
+// to interface dispatch and the measured throughput would not be the
+// scheme's. A new scheme lands by adding it to the generator's scheme list
+// and re-running go generate ./internal/cache/mono.
+func TestMonoRegistryComplete(t *testing.T) {
+	cfg := cache.Config{Name: "LLC", Sets: 64, Ways: 12}
+	for _, s := range AllSchemes() {
+		p := s.Factory(cfg.Sets, cfg.Ways, 4, func(mem.CoreID) bool { return false })
+		lvl := mono.For(cfg, p)
+		if lvl == nil {
+			t.Errorf("scheme %s: mono.For returned nil — add it to internal/cache/mono/gen and regenerate", s.Name)
+			continue
+		}
+		if lvl.Policy() != p {
+			t.Errorf("scheme %s: mono cache wraps a different policy instance", s.Name)
+		}
+	}
+}
+
+// paperRun simulates one heterogeneous mix under one scheme on the paper's
+// Table V geometry (sim.PaperConfig) with the default prefetchers, on
+// either access chain.
+func paperRun(t *testing.T, m workload.Mix, scheme Scheme, noMono bool) sim.Result {
+	t.Helper()
+	const cores = 4
+	cfg := sim.PaperConfig(cores)
+	pf := PFDefault()
+	cfg.L1Prefetcher = pf.L1
+	cfg.L2Prefetcher = pf.L2
+	cfg.NoMono = noMono
+	sys := sim.New(cfg, m.Generators(), scheme.Factory)
+	wantMode := "mono"
+	if noMono {
+		wantMode = "interface"
+	}
+	if got := sys.AccessMode(); got != wantMode {
+		t.Fatalf("scheme %s: AccessMode() = %q, want %q", scheme.Name, got, wantMode)
+	}
+	return sys.Run(2_000, 10_000)
+}
+
+// TestMonoMatchesInterface is the correctness gate of the monomorphized
+// access loop (DESIGN.md §9): for every registered scheme, on the Table V
+// geometry, the mono chain must produce a record-for-record identical
+// sim.Result to the interface-dispatched chain at equal seeds — same IPC
+// bits, same cache counters, same DRAM traffic. CI repeats the comparison
+// end-to-end through the CLI (cmp of fig03 CSVs with -mono against
+// -mono=false).
+func TestMonoMatchesInterface(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		mix := workload.HeterogeneousMixes(4, 1, seed)[0]
+		for _, s := range AllSchemes() {
+			want := paperRun(t, mix, s, true)
+			got := paperRun(t, mix, s, false)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("seed %d scheme %s: mono result diverges from interface result\ninterface: %+v\nmono:      %+v",
+					seed, s.Name, want, got)
+			}
+		}
+	}
+}

@@ -51,6 +51,9 @@ func Signature(pc mem.PC, isPrefetch bool, core mem.CoreID, bits uint) uint64 {
 type Sampler struct {
 	groupSize int // sets per sample group
 	count     int // number of sampled sets
+	// table caches Index per set (shared read-only across copies), replacing
+	// the per-access Mix64 divide with one load on the hot path.
+	table []int32
 }
 
 // NewSampler builds a sampler selecting `want` sets out of `sets`.
@@ -58,10 +61,15 @@ func NewSampler(sets, want int) Sampler {
 	if want <= 0 {
 		want = 64
 	}
-	if sets <= want {
-		return Sampler{groupSize: 1, count: sets}
+	s := Sampler{groupSize: 1, count: sets}
+	if sets > want {
+		s = Sampler{groupSize: sets / want, count: want}
 	}
-	return Sampler{groupSize: sets / want, count: want}
+	s.table = make([]int32, sets)
+	for i := range s.table {
+		s.table[i] = int32(s.indexSlow(mem.SetIdxOf(i)))
+	}
+	return s
 }
 
 // Count returns the number of sampled sets.
@@ -70,7 +78,19 @@ func (s Sampler) Count() int { return s.count }
 // Index returns the dense sample index of the set, or -1 if not sampled.
 // Exactly one set per group is sampled, at a mixed (pseudo-random but
 // deterministic) offset, so samples spread across the index space.
+//
+//chromevet:hot
 func (s Sampler) Index(set mem.SetIdx) int {
+	if si := set.Int(); si < len(s.table) {
+		return int(s.table[si])
+	}
+	return s.indexSlow(set)
+}
+
+// indexSlow computes the sample index from the group geometry; the
+// constructor tabulates it per set, and Index falls back to it only for
+// sets beyond the construction geometry (or a zero-value Sampler).
+func (s Sampler) indexSlow(set mem.SetIdx) int {
 	si := set.Int()
 	if s.groupSize == 1 {
 		if si < s.count {

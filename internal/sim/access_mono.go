@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"chrome/internal/cache"
+	"chrome/internal/mem"
+	"chrome/internal/trace"
+)
+
+// This file is the monomorphized twin of the access chain in system.go
+// (DESIGN.md §9). The two chains must stay behaviourally identical — any
+// change to one must be mirrored in the other; TestMonoMatchesInterface and
+// the CI mono-equivalence gate hold them byte-identical. The private levels
+// here are concrete *mono.LRUCache values, so every L1/L2 access and its
+// policy hooks compile to direct, inlinable calls; the only dynamic
+// dispatch left on the hot path is the single cache.Level boundary at the
+// shared LLC, whose scheme is chosen at run time by the registry.
+
+// memAccessMono is the cpu.MemFunc of the monomorphized chain.
+//
+//chromevet:hot
+func (s *System) memAccessMono(core mem.CoreID, rec trace.Record, cycle mem.Cycle) mem.Cycle {
+	typ := mem.Load
+	if rec.Write {
+		typ = mem.Store
+	}
+	acc := mem.Access{PC: rec.PC, Addr: rec.Addr, Type: typ, Core: core, Cycle: cycle}
+	return s.l1AccessMono(acc)
+}
+
+// l1AccessMono serves a demand access at the L1, recursing into L2/LLC/DRAM
+// on misses and triggering the L1 prefetcher.
+//
+//chromevet:hot
+func (s *System) l1AccessMono(acc mem.Access) mem.Cycle {
+	core := acc.Core
+	l1 := s.monoL1[core]
+	res := l1.Access(acc)
+	latency := s.cfg.L1Latency
+
+	if res.Hit {
+		// A hit on an in-flight fill (e.g. a just-issued prefetch) merges
+		// with it and pays the residual latency.
+		if res.Block.ReadyAt > acc.Cycle+latency {
+			latency = res.Block.ReadyAt - acc.Cycle
+		}
+	} else {
+		start := s.l1m[core].acquire(acc.Cycle + s.cfg.L1Latency)
+		below := acc
+		below.Cycle = start
+		lowerLat := s.l2AccessMono(below, true)
+		done := start + lowerLat
+		s.l1m[core].commit(done)
+		latency = done - acc.Cycle
+		if res.Block != nil {
+			res.Block.ReadyAt = done
+		}
+		s.handleL1EvictionMono(core, res, acc.Cycle)
+	}
+
+	// Train the L1 prefetcher on demand traffic and issue its candidates.
+	s.pfBuf = s.l1pf[core].Train(acc, res.Hit, s.pfBuf[:0]) //chromevet:allow hotiface -- prefetcher-selection boundary: the scheme is chosen per experiment configuration at run time
+	s.issuePrefetchesMono(core, acc, s.pfBuf, true)
+	return latency
+}
+
+//chromevet:hot
+func (s *System) handleL1EvictionMono(core mem.CoreID, res cache.Result, cycle mem.Cycle) {
+	if !res.EvictedValid || !res.Evicted.Dirty {
+		return
+	}
+	wb := mem.Access{Addr: res.Evicted.Addr, Type: mem.Writeback, Core: core, Cycle: cycle}
+	wbRes := s.monoL2[core].Access(wb)
+	if !wbRes.Hit {
+		// Non-inclusive hierarchy: forward the writeback to the LLC.
+		s.llcWritebackMono(wb)
+	}
+}
+
+// l2AccessMono serves an access at the private L2. demand marks accesses on
+// the core's critical path (L1 demand misses); prefetch traffic sets it
+// false.
+//
+//chromevet:hot
+func (s *System) l2AccessMono(acc mem.Access, demand bool) mem.Cycle {
+	core := acc.Core
+	l2 := s.monoL2[core]
+	res := l2.Access(acc)
+	latency := s.cfg.L2Latency
+
+	if res.Hit {
+		if res.Block.ReadyAt > acc.Cycle+latency {
+			latency = res.Block.ReadyAt - acc.Cycle
+		}
+	} else {
+		start := s.l2m[core].acquire(acc.Cycle + s.cfg.L2Latency)
+		below := acc
+		below.Cycle = start
+		lowerLat := s.llcAccessMono(below)
+		done := start + lowerLat
+		s.l2m[core].commit(done)
+		latency = done - acc.Cycle
+		if res.Block != nil {
+			res.Block.ReadyAt = done
+		}
+		if res.EvictedValid && res.Evicted.Dirty {
+			// Writebacks drain from "now": they are off the critical path and
+			// must not be scheduled at the miss's completion time, or queue
+			// wait would compound into a feedback loop.
+			s.llcWritebackMono(mem.Access{Addr: res.Evicted.Addr, Type: mem.Writeback, Core: core, Cycle: acc.Cycle})
+		}
+	}
+
+	if demand && acc.Type.IsDemand() {
+		// Train the L2 prefetcher on demand traffic reaching the L2 (see
+		// l2Access for the scratch-buffer discipline).
+		s.l2pfBuf = s.l2pf[core].Train(acc, res.Hit, s.l2pfBuf[:0]) //chromevet:allow hotiface -- prefetcher-selection boundary: the scheme is chosen per experiment configuration at run time
+		s.issuePrefetchesMono(core, acc, s.l2pfBuf, false)
+	}
+	return latency
+}
+
+// llcAccessMono serves an access at the shared LLC, recording C-AMAT
+// activity. The s.monoLLC.Access call is the chain's single dynamic
+// boundary: the LLC scheme is chosen by string at the CLI, so one indirect
+// call per LLC access selects the generated cache, inside which every
+// policy hook is a direct call.
+//
+//chromevet:hot
+func (s *System) llcAccessMono(acc mem.Access) mem.Cycle {
+	res := s.monoLLC.Access(acc) //chromevet:allow hotiface -- the single scheme-selection boundary of the mono chain; everything below it is devirtualized
+	latency := s.cfg.LLCLatency
+	if res.Hit {
+		if res.Block.ReadyAt > acc.Cycle+latency {
+			latency = res.Block.ReadyAt - acc.Cycle
+		}
+	} else {
+		start := s.llcm.acquire(acc.Cycle + s.cfg.LLCLatency)
+		wait := start - (acc.Cycle + s.cfg.LLCLatency)
+		dramLat := s.dram.Access(acc.Addr, start, false)
+		s.llcm.commit(start + dramLat)
+		latency = s.cfg.LLCLatency + wait + dramLat
+		if res.Block != nil {
+			res.Block.ReadyAt = acc.Cycle + latency
+		}
+		if res.EvictedValid && res.Evicted.Dirty {
+			// Dirty victims drain through the write buffer from "now"; their
+			// completion is off every critical path.
+			s.dram.Access(res.Evicted.Addr, acc.Cycle, true)
+		}
+	}
+	s.mon.Record(acc.Core, acc.Cycle, latency)
+	return latency
+}
+
+// llcWritebackMono sends a dirty line down to the LLC (or DRAM on miss).
+//
+//chromevet:hot
+func (s *System) llcWritebackMono(wb mem.Access) {
+	res := s.monoLLC.Access(wb) //chromevet:allow hotiface -- the single scheme-selection boundary of the mono chain; everything below it is devirtualized
+	if !res.Hit {
+		s.dram.Access(wb.Addr, wb.Cycle, true)
+	}
+}
+
+// issuePrefetchesMono sends prefetch candidates down the hierarchy; see
+// issuePrefetches for the level semantics.
+//
+//chromevet:hot
+func (s *System) issuePrefetchesMono(core mem.CoreID, trigger mem.Access, cands []mem.Addr, fromL1 bool) {
+	n := 0
+	for _, target := range cands {
+		if n >= s.cfg.PrefetchQueueMax {
+			break
+		}
+		pf := mem.Access{
+			PC:    trigger.PC,
+			Addr:  target,
+			Type:  mem.Prefetch,
+			Core:  core,
+			Cycle: trigger.Cycle,
+		}
+		if fromL1 {
+			if s.monoL1[core].Probe(target) {
+				continue
+			}
+			lowerLat := s.l2AccessMono(pf, false)
+			res := s.monoL1[core].Access(pf)
+			if res.Block != nil {
+				res.Block.ReadyAt = pf.Cycle + lowerLat
+			}
+			s.handleL1EvictionMono(core, res, trigger.Cycle)
+		} else {
+			if s.monoL2[core].Probe(target) {
+				continue
+			}
+			s.l2AccessMono(pf, false)
+		}
+		n++
+	}
+	if fromL1 {
+		s.l1PrefetchesIssued += uint64(n)
+	} else {
+		s.l2PrefetchesIssued += uint64(n)
+	}
+}

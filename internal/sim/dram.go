@@ -143,9 +143,15 @@ func (d *DRAM) AvgLatency() float64 {
 // mshr models a miss-status-holding-register file: it bounds the number of
 // outstanding misses at a level. Acquire returns the possibly-delayed start
 // cycle; Commit registers the completion time.
+//
+// busy is kept as a binary min-heap on completion cycle, so pruning
+// completed entries pops only what expired (amortized O(1) per access)
+// instead of rescanning the whole file; the file holds a *multiset* of
+// completion times — prune drops every entry ≤ now and acquire reads the
+// minimum, both order-independent — so the heap layout changes no result.
 type mshr struct {
 	cap  int
-	busy []mem.Cycle // completion cycles of outstanding misses
+	busy []mem.Cycle // min-heap of completion cycles of outstanding misses
 	// stalls counts how many acquisitions had to wait for a free entry.
 	stalls uint64
 	// mshrCheck is the simcheck sanitizer's accounting (empty in normal
@@ -168,13 +174,9 @@ func (m *mshr) acquire(start mem.Cycle) mem.Cycle {
 	m.noteAcquire()
 	m.prune(start)
 	for len(m.busy) >= m.cap {
-		earliest := m.busy[0]
-		for _, b := range m.busy[1:] {
-			if b < earliest {
-				earliest = b
-			}
-		}
-		if earliest > start {
+		// The heap minimum is the earliest outstanding completion; it is
+		// > start, because prune just removed everything ≤ start.
+		if earliest := m.busy[0]; earliest > start {
 			start = earliest
 		}
 		m.stalls++
@@ -192,6 +194,15 @@ func (m *mshr) acquire(start mem.Cycle) mem.Cycle {
 //chromevet:hot
 func (m *mshr) commit(complete mem.Cycle) {
 	m.busy = append(m.busy, complete) //chromevet:allow hotalloc -- len < cap invariant: acquire blocks until below capacity, and busy is pre-sized to cap in newMSHR
+	// Sift the new entry up to its heap position.
+	for i := len(m.busy) - 1; i > 0; {
+		p := (i - 1) / 2
+		if m.busy[p] <= m.busy[i] {
+			break
+		}
+		m.busy[p], m.busy[i] = m.busy[i], m.busy[p]
+		i = p
+	}
 	m.noteCommit(len(m.busy), m.cap)
 }
 
@@ -199,13 +210,26 @@ func (m *mshr) commit(complete mem.Cycle) {
 //
 //chromevet:hot
 func (m *mshr) prune(now mem.Cycle) {
-	kept := m.busy[:0]
-	for _, b := range m.busy {
-		if b > now {
-			kept = append(kept, b)
+	for len(m.busy) > 0 && m.busy[0] <= now {
+		last := len(m.busy) - 1
+		m.busy[0] = m.busy[last]
+		m.busy = m.busy[:last]
+		// Sift the moved entry down.
+		for i := 0; ; {
+			l := 2*i + 1
+			if l >= last {
+				break
+			}
+			if r := l + 1; r < last && m.busy[r] < m.busy[l] {
+				l = r
+			}
+			if m.busy[i] <= m.busy[l] {
+				break
+			}
+			m.busy[i], m.busy[l] = m.busy[l], m.busy[i]
+			i = l
 		}
 	}
-	m.busy = kept
 }
 
 // BusyWait returns the cumulative cycles requests spent waiting for a busy

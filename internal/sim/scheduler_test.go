@@ -14,10 +14,10 @@ import (
 // scheduler in runPhase.
 func (s *System) runLinear(warmup, measure mem.Instr) Result {
 	s.runPhaseLinear(warmup)
-	s.llc.ResetStats()
+	s.LLC().ResetStats()
 	for i := range s.cores {
-		s.l1[i].ResetStats()
-		s.l2[i].ResetStats()
+		s.L1(i).ResetStats()
+		s.L2(i).ResetStats()
 		s.cores[i].BeginWindow()
 	}
 	s.runPhaseLinear(warmup + measure)

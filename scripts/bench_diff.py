@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""bench_diff.py — report the delta between two bench_json.sh snapshots.
+
+Usage: scripts/bench_diff.py BENCH_old.json BENCH_new.json
+
+Prints per-bench ns/op, allocs/op, and sim_MIPS changes. Always exits 0:
+the trajectory diff informs (CI hardware differs run to run), it does not
+gate — the gating perf claims live in EXPERIMENTS.md with pinned hosts.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0
+    with open(sys.argv[1]) as f:
+        old = json.load(f)
+    with open(sys.argv[2]) as f:
+        new = json.load(f)
+    ob, nb = old.get("benches", {}), new.get("benches", {})
+    if old.get("cpu") != new.get("cpu"):
+        print(f"note: hosts differ ({old.get('cpu')!r} vs {new.get('cpu')!r}); "
+              "deltas reflect hardware as well as code")
+    width = max((len(n) for n in ob | nb), default=10)
+    for name in sorted(ob | nb):
+        o, n = ob.get(name), nb.get(name)
+        if o is None or n is None:
+            print(f"{name:<{width}}  {'added' if o is None else 'removed'}")
+            continue
+        parts = []
+        for key, better_low in (("ns_per_op", True), ("allocs_per_op", True), ("sim_MIPS", False)):
+            if key in o and key in n and o[key]:
+                pct = 100.0 * (n[key] - o[key]) / o[key]
+                arrow = "improved" if (pct < 0) == better_low and pct != 0 else ("regressed" if pct != 0 else "flat")
+                parts.append(f"{key} {o[key]:.6g} -> {n[key]:.6g} ({pct:+.1f}%, {arrow})")
+        print(f"{name:<{width}}  " + "; ".join(parts))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)
