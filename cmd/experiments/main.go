@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"chrome/internal/experiments"
+	"chrome/internal/mem"
 	"chrome/internal/workload"
 )
 
@@ -51,6 +52,12 @@ func main() {
 		actorAL  = flag.String("actorlearner", "inline", "CHROME update path: inline | seq | par (seq and par are byte-identical at equal seeds)")
 		shards   = flag.Int("actorshards", 0, "shard the CHROME actor pool across N workers (requires -actorlearner par; 0 = unsharded)")
 		stale    = flag.Int("staleness", 0, "epoch boundaries the adopted decision snapshot may lag the learner (deterministic at every bound)")
+		warmup   = flag.Uint64("warmup", 0, "override the scale's per-core warmup instruction budget (0 = scale default)")
+		measure  = flag.Uint64("measure", 0, "override the scale's per-core measured instruction budget (0 = scale default)")
+		sampling = flag.String("sampling", "none", "measurement strategy: none (exact full budget) | simpoint (weighted representative intervals)")
+		spInt    = flag.Uint64("spinterval", 0, "per-core instructions per profiled interval (0 = default; requires -sampling simpoint)")
+		spWarm   = flag.Uint64("spwarmup", 0, "truncated warmup instructions before each representative (0 = default; requires -sampling simpoint)")
+		spK      = flag.Int("spclusters", 0, "max representative intervals per cell (0 = default; requires -sampling simpoint)")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -105,12 +112,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
 		os.Exit(2)
 	}
+	if *warmup > 0 {
+		sc.Warmup = mem.InstrOf(*warmup)
+	}
+	if *measure > 0 {
+		sc.Measure = mem.InstrOf(*measure)
+	}
 	sc.Parallelism = *jobs
 	sc.NoReplay = !*replay && *traceDir == ""
 	sc.NoMono = !*monoOn
 	sc.ActorLearner = *actorAL
 	sc.ActorShards = *shards
 	sc.SnapshotStaleness = *stale
+	sc.Sampling = *sampling
+	sc.SPInterval = mem.InstrOf(*spInt)
+	sc.SPWarmup = mem.InstrOf(*spWarm)
+	sc.SPClusters = *spK
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -163,8 +180,8 @@ func main() {
 
 	// Throughput numbers are only comparable with the environment pinned;
 	// report it up front so every sim_MIPS figure below is attributable.
-	fmt.Printf("env: %s, GOMAXPROCS=%d, access loop=%s\n\n",
-		runtime.Version(), runtime.GOMAXPROCS(0), accessLoop(sc))
+	fmt.Printf("env: %s, GOMAXPROCS=%d, access loop=%s%s\n\n",
+		runtime.Version(), runtime.GOMAXPROCS(0), accessLoop(sc), samplingNote(sc))
 
 	start := time.Now()
 	var all []experiments.Report
@@ -207,6 +224,16 @@ func accessLoop(sc experiments.Scale) string {
 		return "interface"
 	}
 	return "mono"
+}
+
+// samplingNote renders the active interval-sampling knobs, or nothing for
+// exact runs — so every recorded table is attributable to its strategy.
+func samplingNote(sc experiments.Scale) string {
+	if sc.Sampling != "simpoint" {
+		return ""
+	}
+	i, w, k := sc.EffectiveSampling()
+	return fmt.Sprintf(", sampling=simpoint(interval=%d, warmup=%d, clusters=%d)", i, w, k)
 }
 
 // genSplit formats the generation-vs-simulation wall-clock split of a

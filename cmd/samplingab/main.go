@@ -1,0 +1,213 @@
+// Command samplingab measures the accuracy and wall-clock cost of
+// -sampling=simpoint against exact full-budget simulation, on this host,
+// with an honest interleaved A/B protocol (exact pass, sampled pass,
+// repeated). It backs the recorded sampling numbers in EXPERIMENTS.md.
+//
+// The grid is fig03-class: the eight Figure 3 workloads as 4-core
+// homogeneous mixes under the default prefetchers, across the static SOTA
+// schemes plus CHROME (the scheme class sampling serves worst — its agent
+// trains only inside each representative). Recordings are generated once
+// up front so neither strategy is charged for trace generation; both
+// passes replay the same frozen streams.
+//
+// Usage:
+//
+//	samplingab -scale full -pairs 2
+//	samplingab -scale full -spinterval 16000 -spwarmup 8000 -spclusters 5
+//
+// Reported per metric (MPKI, IPC): the per-cell sampled/exact ratio's
+// geometric mean (bias), the geometric mean of |ln ratio| folded back to a
+// percentage (geomean error, the acceptance number), and the worst cell.
+// Wall-clock reduction is the ratio of summed exact to summed sampled pass
+// times across all pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"chrome/internal/experiments"
+	"chrome/internal/mem"
+	"chrome/internal/sim"
+	"chrome/internal/trace"
+	"chrome/internal/workload"
+)
+
+var fig3Workloads = []string{"soplex", "wrf", "mcf", "xalancbmk", "omnetpp", "gcc", "libquantum", "cc-ur"}
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "full", "simulation scale: quick | full")
+		pairs     = flag.Int("pairs", 2, "interleaved exact/sampled pass pairs")
+		spInt     = flag.Uint64("spinterval", 0, "per-core instructions per profiled interval (0 = default)")
+		spWarm    = flag.Uint64("spwarmup", 0, "truncated warmup before each representative (0 = default)")
+		spK       = flag.Int("spclusters", 0, "max representative intervals per cell (0 = default)")
+		names     = flag.String("workloads", strings.Join(fig3Workloads, ","), "comma-separated workload names")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+	exact := sc
+	exact.Sampling = "none"
+	sampled := sc
+	sampled.Sampling = "simpoint"
+	sampled.SPInterval = mem.InstrOf(*spInt)
+	sampled.SPWarmup = mem.InstrOf(*spWarm)
+	sampled.SPClusters = *spK
+	if err := sampled.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	const cores = 4
+	var profiles []workload.Profile
+	for _, n := range strings.Split(*names, ",") {
+		p, err := workload.ByName(strings.TrimSpace(n))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		profiles = append(profiles, p)
+	}
+	schemes := []experiments.Scheme{
+		experiments.LRUScheme(), experiments.HawkeyeScheme(), experiments.GliderScheme(),
+		experiments.MockingjayScheme(), experiments.CHROMEScheme(experiments.ChromeConfig()),
+	}
+	pf := experiments.PFDefault()
+
+	// Warm the shared recording cache outside the timed region: both
+	// strategies replay the same frozen streams, so generation is a shared
+	// fixed cost, not part of either strategy's wall-clock.
+	budget := sc.Warmup + sc.Measure
+	for _, p := range profiles {
+		workload.Recorded(p, budget)
+	}
+	i, w, k := sampled.EffectiveSampling()
+	fmt.Printf("grid: %d workloads x %d schemes, %d-core homogeneous, %s\n",
+		len(profiles), len(schemes), cores, pf.Name)
+	fmt.Printf("budgets: exact %d+%d instr/core; sampled interval=%d warmup=%d clusters=%d\n",
+		sc.Warmup, sc.Measure, i, w, k)
+
+	gens := func(p workload.Profile) []trace.Generator {
+		return workload.HomogeneousReplayMix(p, cores, budget)
+	}
+	runPass := func(cfg experiments.Scale) ([]sim.Result, time.Duration) {
+		results := make([]sim.Result, 0, len(profiles)*len(schemes))
+		t0 := time.Now()
+		for _, p := range profiles {
+			for _, s := range schemes {
+				results = append(results, experiments.RunMixPublic(gens(p), cores, s, pf, cfg))
+			}
+		}
+		return results, time.Since(t0)
+	}
+
+	var exactRes, sampledRes []sim.Result
+	var exactTime, sampledTime time.Duration
+	for pair := 0; pair < *pairs; pair++ {
+		er, et := runPass(exact)
+		sr, st := runPass(sampled)
+		fmt.Printf("pair %d: exact %s, sampled %s (%.2fx)\n",
+			pair+1, et.Round(time.Millisecond), st.Round(time.Millisecond),
+			et.Seconds()/st.Seconds())
+		exactRes, sampledRes = er, sr
+		exactTime += et
+		sampledTime += st
+	}
+
+	fmt.Printf("\n%-12s %-11s %8s %8s %8s %8s %8s %8s\n",
+		"workload", "scheme", "exMPKI", "spMPKI", "err%", "exIPC", "spIPC", "err%")
+	var mpkiRatios, ipcRatios []float64
+	var worstMPKI, worstIPC float64
+	var worstMPKICell, worstIPCCell string
+	idx := 0
+	for _, p := range profiles {
+		for _, s := range schemes {
+			er, sr := exactRes[idx], sampledRes[idx]
+			idx++
+			em, sm := demandMPKI(er), demandMPKI(sr)
+			ei, si := meanIPC(er), meanIPC(sr)
+			mErr, iErr := relErr(sm, em), relErr(si, ei)
+			fmt.Printf("%-12s %-11s %8.2f %8.2f %7.1f%% %8.3f %8.3f %7.1f%%\n",
+				p.Name, s.Name, em, sm, 100*mErr, ei, si, 100*iErr)
+			if em > 0 && sm > 0 {
+				mpkiRatios = append(mpkiRatios, sm/em)
+			}
+			ipcRatios = append(ipcRatios, si/ei)
+			cell := p.Name + "/" + s.Name
+			if mErr > worstMPKI {
+				worstMPKI, worstMPKICell = mErr, cell
+			}
+			if iErr > worstIPC {
+				worstIPC, worstIPCCell = iErr, cell
+			}
+		}
+	}
+
+	mBias, mGeo := geoStats(mpkiRatios)
+	iBias, iGeo := geoStats(ipcRatios)
+	fmt.Printf("\nMPKI: geomean ratio %.4f (bias %+.1f%%), geomean error %.1f%%, worst %.1f%% (%s)\n",
+		mBias, 100*(mBias-1), 100*mGeo, 100*worstMPKI, worstMPKICell)
+	fmt.Printf("IPC:  geomean ratio %.4f (bias %+.1f%%), geomean error %.1f%%, worst %.1f%% (%s)\n",
+		iBias, 100*(iBias-1), 100*iGeo, 100*worstIPC, worstIPCCell)
+	fmt.Printf("wall-clock: exact %s vs sampled %s over %d pairs: %.2fx reduction\n",
+		exactTime.Round(time.Millisecond), sampledTime.Round(time.Millisecond),
+		*pairs, exactTime.Seconds()/sampledTime.Seconds())
+}
+
+// demandMPKI is LLC demand misses per kilo retired instruction over the
+// measurement window, summed across cores.
+func demandMPKI(r sim.Result) float64 {
+	var instrs uint64
+	for _, n := range r.Instructions {
+		instrs += n.Uint64()
+	}
+	if instrs == 0 {
+		return 0
+	}
+	return float64(r.LLC.DemandLoadMisses+r.LLC.DemandStoreMisses) * 1000 / float64(instrs)
+}
+
+func meanIPC(r sim.Result) float64 {
+	var sum float64
+	for _, v := range r.IPC {
+		sum += v
+	}
+	return sum / float64(len(r.IPC))
+}
+
+func relErr(estimate, exact float64) float64 {
+	if exact == 0 {
+		return 0
+	}
+	return math.Abs(estimate-exact) / exact
+}
+
+// geoStats returns the geometric mean of the ratios (multiplicative bias)
+// and the geometric mean absolute log-error folded to a fraction: both are
+// 1.0/0.0 for a perfect estimator.
+func geoStats(ratios []float64) (bias, err float64) {
+	if len(ratios) == 0 {
+		return 1, 0
+	}
+	var logSum, absSum float64
+	for _, r := range ratios {
+		logSum += math.Log(r)
+		absSum += math.Abs(math.Log(r))
+	}
+	n := float64(len(ratios))
+	return math.Exp(logSum / n), math.Exp(absSum/n) - 1
+}

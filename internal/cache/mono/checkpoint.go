@@ -1,0 +1,61 @@
+package mono
+
+import (
+	"fmt"
+
+	"chrome/internal/cache"
+	"chrome/internal/state"
+)
+
+// Checkpoint support: the base saves exactly what cache.Cache saves (blocks,
+// counters, stats epoch) so a checkpoint taken on the mono chain restores
+// onto the interface chain and vice versa. The structure-of-arrays mirrors
+// (tags, touch, valid) are derived state and are rebuilt from the decoded
+// blocks on load, the same way init derives them from an empty array.
+
+// SaveState implements cache.Checkpointable; the method is promoted to every
+// generated cache type, whose policy is saved separately via its Typed/
+// Policy accessor by the composing layer.
+func (b *base) SaveState(enc *state.Enc) error {
+	if b.evictTracker != nil || b.bypassTracker != nil {
+		return fmt.Errorf("%w: %s has reuse trackers installed", cache.ErrNotCheckpointable, b.cfg.Name)
+	}
+	cache.SaveBlocks(enc, b.blocks)
+	cache.SaveStats(enc, &b.stats)
+	enc.U32(b.epoch)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (b *base) LoadState(dec *state.Dec) error {
+	if b.evictTracker != nil || b.bypassTracker != nil {
+		return fmt.Errorf("%w: %s has reuse trackers installed", cache.ErrNotCheckpointable, b.cfg.Name)
+	}
+	cache.LoadBlocks(dec, b.blocks)
+	cache.LoadStats(dec, &b.stats)
+	b.epoch = dec.U32()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	b.rebuildMirrors()
+	return nil
+}
+
+// rebuildMirrors rederives the tags/touch/valid structure-of-arrays mirrors
+// from the authoritative blocks, restoring the invariants the simcheck
+// sanitizer verifies after every access.
+func (b *base) rebuildMirrors() {
+	for s := range b.valid {
+		b.valid[s] = 0
+	}
+	for i := range b.blocks {
+		blk := &b.blocks[i]
+		if blk.Valid {
+			b.tags[i] = blk.Tag.Uint64()
+			b.valid[i/b.cfg.Ways]++
+		} else {
+			b.tags[i] = invalidTag
+		}
+		b.touch[i] = blk.LastTouch.Uint64()
+	}
+}

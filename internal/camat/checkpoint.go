@@ -1,0 +1,43 @@
+package camat
+
+import (
+	"chrome/internal/mem"
+	"chrome/internal/state"
+)
+
+// Checkpoint support: epochCycles and tMem are construction parameters; the
+// per-core accumulators are the monitor's entire mutable state.
+
+// SaveState implements cache.Checkpointable.
+func (m *Monitor) SaveState(enc *state.Enc) error {
+	enc.Int(len(m.cores))
+	for i := range m.cores {
+		cs := &m.cores[i]
+		enc.U64(cs.epoch)
+		enc.U64(cs.coveredUntil.Uint64())
+		enc.U64(cs.activeCycles)
+		enc.U64(cs.accesses)
+		enc.Bool(cs.obstructed)
+		enc.U64(cs.totalActive)
+		enc.U64(cs.totalAccesses)
+	}
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (m *Monitor) LoadState(dec *state.Dec) error {
+	if !dec.ExpectLen("camat cores", dec.Int(), len(m.cores)) {
+		return dec.Err()
+	}
+	for i := range m.cores {
+		cs := &m.cores[i]
+		cs.epoch = dec.U64()
+		cs.coveredUntil = mem.CycleOf(dec.U64())
+		cs.activeCycles = dec.U64()
+		cs.accesses = dec.U64()
+		cs.obstructed = dec.Bool()
+		cs.totalActive = dec.U64()
+		cs.totalAccesses = dec.U64()
+	}
+	return dec.Err()
+}

@@ -22,8 +22,12 @@ type Agent struct {
 	eq      *EQ
 	sampler policy.Sampler
 	rng     *rand.Rand
-	ext     *extractor
-	al      *alState
+	// pcg is rng's source, retained so checkpointing can serialize the
+	// exploration stream's exact position (rand.Rand adds no buffering on
+	// top of its source).
+	pcg *rand.PCG
+	ext *extractor
+	al  *alState
 
 	// Obstructed reports whether a core is currently LLC-obstructed; wired
 	// to the camat.Monitor by the simulator. Nil (or ConcurrencyAware
@@ -77,12 +81,14 @@ func New(cfg Config, sets, ways int) *Agent {
 	// agents built from one shared Config (a Scheme closure reused across
 	// parallel experiment cells) never alias the caller's backing array.
 	cfg.StateFeatures = append([]FeatureKind(nil), cfg.StateFeatures...)
+	pcg := rand.NewPCG(cfg.Seed, mem.Mix64(cfg.Seed^0xC0FFEE))
 	a := &Agent{
 		cfg:     cfg,
 		qt:      NewQTable(cfg),
 		eq:      nil,
 		sampler: policy.NewSampler(sets, cfg.SampledSets),
-		rng:     rand.New(rand.NewPCG(cfg.Seed, mem.Mix64(cfg.Seed^0xC0FFEE))),
+		rng:     rand.New(pcg),
+		pcg:     pcg,
 		ext:     newExtractor(cfg.featureKinds(), maxCores),
 		epv:     make([][]uint8, sets),
 	}

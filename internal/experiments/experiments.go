@@ -68,6 +68,22 @@ type Scale struct {
 	// output either way (TestMonoMatchesInterface); used by the CI
 	// equivalence gate and for attributing measured throughput.
 	NoMono bool
+	// Sampling selects the measurement strategy: "" or "none" simulates the
+	// full warmup+measure budget exactly (byte-identical to before the knob
+	// existed); "simpoint" profiles the recordings in fixed-instruction
+	// intervals, clusters the measurement window, and simulates only
+	// weighted representative intervals (DESIGN.md §10). Requires replay
+	// (incompatible with NoReplay).
+	Sampling string
+	// SPInterval is the per-core instruction length of each profiled
+	// interval (0 = DefaultSPInterval). Simpoint sampling only.
+	SPInterval mem.Instr
+	// SPWarmup is the truncated warmup replayed immediately before each
+	// representative interval (0 = DefaultSPWarmup). Simpoint sampling only.
+	SPWarmup mem.Instr
+	// SPClusters caps how many representatives k-means selects per cell
+	// (0 = DefaultSPClusters). Simpoint sampling only.
+	SPClusters int
 }
 
 // LearnerMode parses the ActorLearner selector, returning an error naming
@@ -106,6 +122,28 @@ func (sc Scale) Validate() error {
 	}
 	if sc.SnapshotStaleness > 0 && mode == chrome.LearnerInline {
 		return fmt.Errorf("snapshot staleness requires -actorlearner seq or par (have %q)", sc.ActorLearner)
+	}
+	switch sc.Sampling {
+	case "", "none":
+		if sc.SPInterval != 0 || sc.SPWarmup != 0 || sc.SPClusters != 0 {
+			return fmt.Errorf("interval sampling knobs (-spinterval/-spwarmup/-spclusters) require -sampling simpoint (have %q)", sc.Sampling)
+		}
+	case "simpoint":
+		if sc.NoReplay {
+			return fmt.Errorf("-sampling simpoint requires the replay engine (remove -noreplay: sampling profiles and seeks frozen recordings)")
+		}
+		if sc.SPClusters < 0 {
+			return fmt.Errorf("cluster count %d is negative (valid: 0 = default %d, or a positive representative count)", sc.SPClusters, DefaultSPClusters)
+		}
+		interval, warmup, _ := sc.samplingParams()
+		if interval > sc.Measure {
+			return fmt.Errorf("sampling interval %d exceeds the measure budget %d (a representative interval must fit the measurement window)", interval, sc.Measure)
+		}
+		if warmup > sc.Warmup {
+			return fmt.Errorf("sampling warmup %d exceeds the full warmup budget %d (the truncated warmup must be a subset of the exact run's)", warmup, sc.Warmup)
+		}
+	default:
+		return fmt.Errorf("unknown sampling mode %q (valid modes: none, simpoint)", sc.Sampling)
 	}
 	return nil
 }
@@ -382,6 +420,22 @@ func RunMixPublic(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchC
 // machinery is drained before any statistic is read — so callers (UPKSA,
 // table rendering) never race the learner goroutine.
 func runMix(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig, sc Scale) sim.Result {
+	if sc.Sampling == "simpoint" {
+		return runMixSampled(gens, cores, scheme, pf, sc)
+	}
+	sys, closePolicies := sc.newMixSystem(gens, cores, scheme, pf)
+	res := sys.Run(sc.Warmup, sc.Measure)
+	closePolicies()
+	res.PolicyName = scheme.Name
+	countInstructions(res)
+	return res
+}
+
+// newMixSystem constructs one cell's simulated system — scaled geometry,
+// the mix's prefetchers, the scheme's policy (wrapped for the configured
+// actor/learner mode) — and returns it with a close function that shuts
+// down any learner goroutines the construction spawned.
+func (sc Scale) newMixSystem(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig) (*sim.System, func()) {
 	cfg := sim.ScaledConfig(cores)
 	cfg.L1Prefetcher = pf.L1
 	cfg.L2Prefetcher = pf.L2
@@ -404,15 +458,13 @@ func runMix(gens []trace.Generator, cores int, scheme Scheme, pf PrefetchConfig,
 		}
 	}
 	sys := sim.New(cfg, gens, factory)
-	res := sys.Run(sc.Warmup, sc.Measure)
-	for _, p := range made {
-		if c, ok := p.(interface{ Close() }); ok {
-			c.Close()
+	return sys, func() {
+		for _, p := range made {
+			if c, ok := p.(interface{ Close() }); ok {
+				c.Close()
+			}
 		}
 	}
-	res.PolicyName = scheme.Name
-	countInstructions(res)
-	return res
 }
 
 // representativeOrder ranks SPEC profiles by behavioural diversity so

@@ -1,0 +1,439 @@
+package policy
+
+// Checkpoint support for every LLC policy (DESIGN.md §10). Each policy
+// serializes only its mutable learned/metadata state; geometry, samplers,
+// leader-set layouts, and thresholds are construction-deterministic and are
+// validated by length checks rather than stored. Restores happen in place
+// into an identically constructed policy, so wired callbacks (CARE's
+// Obstructed) survive.
+
+import (
+	"fmt"
+
+	"chrome/internal/mem"
+	"chrome/internal/state"
+)
+
+// loadPsel restores a set-dueling selector counter, rejecting values outside
+// the duel range [0, max] as corruption.
+func loadPsel(dec *state.Dec, what string, max int) (int, error) {
+	v := dec.Int()
+	if dec.Err() != nil {
+		return 0, dec.Err()
+	}
+	if v < 0 || v > max {
+		return 0, fmt.Errorf("%w: %s selector %d outside [0, %d]", state.ErrCorrupt, what, v, max)
+	}
+	return v, nil
+}
+
+// Grid helpers for the per-set × per-way metadata shapes shared by the RRIP
+// family. Row lengths are fixed by construction, so only a total-shape check
+// is needed.
+
+func saveU8Grid(enc *state.Enc, g [][]uint8) {
+	enc.Int(len(g))
+	for _, row := range g {
+		enc.Int(len(row))
+		for _, v := range row {
+			enc.U8(v)
+		}
+	}
+}
+
+func loadU8Grid(dec *state.Dec, what string, g [][]uint8) {
+	if !dec.ExpectLen(what+" sets", dec.Int(), len(g)) {
+		return
+	}
+	for s, row := range g {
+		if !dec.ExpectLen(what+" ways", dec.Int(), len(row)) {
+			return
+		}
+		for w := range row {
+			g[s][w] = dec.U8()
+		}
+	}
+}
+
+func saveBoolGrid(enc *state.Enc, g [][]bool) {
+	enc.Int(len(g))
+	for _, row := range g {
+		enc.Int(len(row))
+		for _, v := range row {
+			enc.Bool(v)
+		}
+	}
+}
+
+func loadBoolGrid(dec *state.Dec, what string, g [][]bool) {
+	if !dec.ExpectLen(what+" sets", dec.Int(), len(g)) {
+		return
+	}
+	for s, row := range g {
+		if !dec.ExpectLen(what+" ways", dec.Int(), len(row)) {
+			return
+		}
+		for w := range row {
+			g[s][w] = dec.Bool()
+		}
+	}
+}
+
+func saveU64Grid(enc *state.Enc, g [][]uint64) {
+	enc.Int(len(g))
+	for _, row := range g {
+		enc.Int(len(row))
+		for _, v := range row {
+			enc.U64(v)
+		}
+	}
+}
+
+func loadU64Grid(dec *state.Dec, what string, g [][]uint64) {
+	if !dec.ExpectLen(what+" sets", dec.Int(), len(g)) {
+		return
+	}
+	for s, row := range g {
+		if !dec.ExpectLen(what+" ways", dec.Int(), len(row)) {
+			return
+		}
+		for w := range row {
+			g[s][w] = dec.U64()
+		}
+	}
+}
+
+func saveU8s(enc *state.Enc, v []uint8) {
+	enc.Int(len(v))
+	for _, x := range v {
+		enc.U8(x)
+	}
+}
+
+func loadU8s(dec *state.Dec, what string, v []uint8) {
+	if !dec.ExpectLen(what, dec.Int(), len(v)) {
+		return
+	}
+	for i := range v {
+		v[i] = dec.U8()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stateless / RRIP family
+
+// SaveState implements cache.Checkpointable (LRU keeps no policy state; the
+// cache's LastTouch recency is saved with the blocks).
+func (*LRU) SaveState(*state.Enc) error { return nil }
+
+// LoadState implements cache.Checkpointable.
+func (*LRU) LoadState(*state.Dec) error { return nil }
+
+// SaveState implements cache.Checkpointable.
+func (p *SRRIP) SaveState(enc *state.Enc) error {
+	saveU8Grid(enc, p.rrpv)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (p *SRRIP) LoadState(dec *state.Dec) error {
+	loadU8Grid(dec, "SRRIP rrpv", p.rrpv)
+	return dec.Err()
+}
+
+// SaveState implements cache.Checkpointable (leader sets and pselMax are
+// construction-deterministic).
+func (d *DRRIP) SaveState(enc *state.Enc) error {
+	saveU8Grid(enc, d.rrpv)
+	enc.Int(d.psel)
+	enc.U32(d.brripCtr)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (d *DRRIP) LoadState(dec *state.Dec) error {
+	loadU8Grid(dec, "DRRIP rrpv", d.rrpv)
+	v, err := loadPsel(dec, "DRRIP", d.pselMax)
+	if err != nil {
+		return err
+	}
+	d.psel = v //chromevet:allow hwwidth -- range-checked against pselMax by loadPsel
+	d.brripCtr = dec.U32()
+	return dec.Err()
+}
+
+// SaveState implements cache.Checkpointable.
+func (p *PACMan) SaveState(enc *state.Enc) error {
+	saveU8Grid(enc, p.rrpv)
+	enc.Int(p.psel)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (p *PACMan) LoadState(dec *state.Dec) error {
+	loadU8Grid(dec, "PACMan rrpv", p.rrpv)
+	v, err := loadPsel(dec, "PACMan", p.pselMax)
+	if err != nil {
+		return err
+	}
+	p.psel = v //chromevet:allow hwwidth -- range-checked against pselMax by loadPsel
+	return dec.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Signature-history family (SHiP++, CARE)
+
+// SaveState implements cache.Checkpointable.
+func (p *SHiPPP) SaveState(enc *state.Enc) error {
+	saveU8s(enc, p.shct)
+	saveU8Grid(enc, p.rrpv)
+	saveU64Grid(enc, p.lineSig)
+	saveBoolGrid(enc, p.lineReref)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (p *SHiPPP) LoadState(dec *state.Dec) error {
+	loadU8s(dec, "SHiP++ shct", p.shct)
+	loadU8Grid(dec, "SHiP++ rrpv", p.rrpv)
+	loadU64Grid(dec, "SHiP++ lineSig", p.lineSig)
+	loadBoolGrid(dec, "SHiP++ lineReref", p.lineReref)
+	return dec.Err()
+}
+
+// SaveState implements cache.Checkpointable (the Obstructed wiring is left
+// untouched by restore).
+func (c *CARE) SaveState(enc *state.Enc) error {
+	saveU8s(enc, c.shct)
+	saveU8Grid(enc, c.rrpv)
+	saveU64Grid(enc, c.lineSig)
+	saveBoolGrid(enc, c.lineReref)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (c *CARE) LoadState(dec *state.Dec) error {
+	loadU8s(dec, "CARE shct", c.shct)
+	loadU8Grid(dec, "CARE rrpv", c.rrpv)
+	loadU64Grid(dec, "CARE lineSig", c.lineSig)
+	loadBoolGrid(dec, "CARE lineReref", c.lineReref)
+	return dec.Err()
+}
+
+// ---------------------------------------------------------------------------
+// OPT-trained family (Hawkeye, Glider)
+
+func (g *optGen) saveState(enc *state.Enc) {
+	saveU8s(enc, g.occupancy)
+	enc.U64(g.clock)
+	enc.Int(len(g.history))
+	for i := range g.history {
+		r := &g.history[i]
+		enc.U64(r.block.Uint64())
+		enc.U64(r.time)
+		enc.U64(r.sig)
+		for _, c := range r.ctx {
+			enc.U16(c)
+		}
+	}
+}
+
+func (g *optGen) loadState(dec *state.Dec) {
+	loadU8s(dec, "optgen occupancy", g.occupancy)
+	g.clock = dec.U64()
+	n := dec.Int()
+	if dec.Err() != nil {
+		return
+	}
+	if n < 0 || n > g.window {
+		dec.ExpectLen("optgen history", n, g.window)
+		return
+	}
+	g.history = g.history[:0]
+	for i := 0; i < n; i++ {
+		var r optRef
+		r.block = mem.BlockAddrOf(dec.U64())
+		r.time = dec.U64()
+		r.sig = dec.U64()
+		for c := range r.ctx {
+			r.ctx[c] = dec.U16()
+		}
+		g.history = append(g.history, r)
+	}
+}
+
+func saveOptGens(enc *state.Enc, gens []*optGen) {
+	enc.Int(len(gens))
+	for _, g := range gens {
+		g.saveState(enc)
+	}
+}
+
+func loadOptGens(dec *state.Dec, what string, gens []*optGen) {
+	if !dec.ExpectLen(what, dec.Int(), len(gens)) {
+		return
+	}
+	for _, g := range gens {
+		g.loadState(dec)
+	}
+}
+
+// SaveState implements cache.Checkpointable.
+func (h *Hawkeye) SaveState(enc *state.Enc) error {
+	saveU8s(enc, h.counters)
+	saveU8Grid(enc, h.rrpv)
+	saveBoolGrid(enc, h.friendly)
+	saveU64Grid(enc, h.lineSig)
+	saveOptGens(enc, h.optgens)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (h *Hawkeye) LoadState(dec *state.Dec) error {
+	loadU8s(dec, "Hawkeye counters", h.counters)
+	loadU8Grid(dec, "Hawkeye rrpv", h.rrpv)
+	loadBoolGrid(dec, "Hawkeye friendly", h.friendly)
+	loadU64Grid(dec, "Hawkeye lineSig", h.lineSig)
+	loadOptGens(dec, "Hawkeye optgens", h.optgens)
+	return dec.Err()
+}
+
+// SaveState implements cache.Checkpointable. ISVM rows allocate lazily on
+// first touch, so each row is saved behind a presence flag and restored to
+// exactly the trained-row set (an absent row must stay nil to preserve the
+// untrained-PC fast path).
+func (g *Glider) SaveState(enc *state.Enc) error {
+	enc.Int(len(g.isvm))
+	for _, row := range g.isvm {
+		if row == nil {
+			enc.Bool(false)
+			continue
+		}
+		enc.Bool(true)
+		enc.Int(len(row))
+		for _, w := range row {
+			enc.I16(w)
+		}
+	}
+	enc.Int(len(g.pchr))
+	for i := range g.pchr {
+		for _, v := range g.pchr[i] {
+			enc.U16(v)
+		}
+	}
+	saveU8Grid(enc, g.rrpv)
+	saveBoolGrid(enc, g.averse)
+	for _, v := range g.pendingF {
+		enc.U16(v)
+	}
+	enc.Bool(g.pendingValid)
+	saveOptGens(enc, g.optgens)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (g *Glider) LoadState(dec *state.Dec) error {
+	if !dec.ExpectLen("Glider isvm", dec.Int(), len(g.isvm)) {
+		return dec.Err()
+	}
+	for i := range g.isvm {
+		if !dec.Bool() {
+			g.isvm[i] = nil
+			continue
+		}
+		n := dec.Int()
+		if !dec.ExpectLen("Glider isvm row", n, isvmWeights) {
+			return dec.Err()
+		}
+		row := g.isvm[i]
+		if row == nil {
+			row = make([]int16, isvmWeights)
+			g.isvm[i] = row
+		}
+		for w := range row {
+			row[w] = dec.I16()
+		}
+	}
+	if !dec.ExpectLen("Glider pchr", dec.Int(), len(g.pchr)) {
+		return dec.Err()
+	}
+	for i := range g.pchr {
+		for j := range g.pchr[i] {
+			g.pchr[i][j] = dec.U16()
+		}
+	}
+	loadU8Grid(dec, "Glider rrpv", g.rrpv)
+	loadBoolGrid(dec, "Glider averse", g.averse)
+	for i := range g.pendingF {
+		g.pendingF[i] = dec.U16()
+	}
+	g.pendingValid = dec.Bool()
+	loadOptGens(dec, "Glider optgens", g.optgens)
+	return dec.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Mockingjay
+
+// SaveState implements cache.Checkpointable.
+func (m *Mockingjay) SaveState(enc *state.Enc) error {
+	enc.Int(len(m.samples))
+	for _, hist := range m.samples {
+		enc.Int(len(hist))
+		for i := range hist {
+			enc.U64(hist[i].block.Uint64())
+			enc.U64(hist[i].sig)
+			enc.U64(hist[i].time)
+		}
+	}
+	enc.Int(len(m.rdp))
+	for _, v := range m.rdp {
+		enc.U16(v)
+	}
+	enc.Int(len(m.clock))
+	for _, v := range m.clock {
+		enc.U64(v)
+	}
+	saveU64Grid(enc, m.nextUse)
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (m *Mockingjay) LoadState(dec *state.Dec) error {
+	if !dec.ExpectLen("Mockingjay samples", dec.Int(), len(m.samples)) {
+		return dec.Err()
+	}
+	for q := range m.samples {
+		n := dec.Int()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if n < 0 || n > cap(m.samples[q]) {
+			dec.ExpectLen("Mockingjay sample history", n, cap(m.samples[q]))
+			return dec.Err()
+		}
+		hist := m.samples[q][:0]
+		for i := 0; i < n; i++ {
+			var s mjSample
+			s.block = mem.BlockAddrOf(dec.U64())
+			s.sig = dec.U64()
+			s.time = dec.U64()
+			hist = append(hist, s)
+		}
+		m.samples[q] = hist
+	}
+	if !dec.ExpectLen("Mockingjay rdp", dec.Int(), len(m.rdp)) {
+		return dec.Err()
+	}
+	for i := range m.rdp {
+		m.rdp[i] = dec.U16() & 0x1fff
+	}
+	if !dec.ExpectLen("Mockingjay clock", dec.Int(), len(m.clock)) {
+		return dec.Err()
+	}
+	for i := range m.clock {
+		m.clock[i] = dec.U64()
+	}
+	loadU64Grid(dec, "Mockingjay nextUse", m.nextUse)
+	return dec.Err()
+}

@@ -1,0 +1,125 @@
+package prefetch
+
+// Checkpoint support: prefetcher training tables are small and fully
+// mutable, so each prefetcher serializes its entire table. None and
+// NextLine are stateless.
+
+import (
+	"chrome/internal/mem"
+	"chrome/internal/state"
+)
+
+// SaveState implements cache.Checkpointable.
+func (None) SaveState(*state.Enc) error { return nil }
+
+// LoadState implements cache.Checkpointable.
+func (None) LoadState(*state.Dec) error { return nil }
+
+// SaveState implements cache.Checkpointable (degree is a construction
+// parameter).
+func (*NextLine) SaveState(*state.Enc) error { return nil }
+
+// LoadState implements cache.Checkpointable.
+func (*NextLine) LoadState(*state.Dec) error { return nil }
+
+// SaveState implements cache.Checkpointable.
+func (p *Stride) SaveState(enc *state.Enc) error {
+	enc.Int(len(p.table))
+	for i := range p.table {
+		e := &p.table[i]
+		enc.U64(e.pc.Uint64())
+		enc.U64(e.lastAddr.Uint64())
+		enc.I64(e.stride)
+		enc.U8(e.conf)
+		enc.Bool(e.valid)
+	}
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (p *Stride) LoadState(dec *state.Dec) error {
+	if !dec.ExpectLen("stride table", dec.Int(), len(p.table)) {
+		return dec.Err()
+	}
+	for i := range p.table {
+		e := &p.table[i]
+		e.pc = mem.PCOf(dec.U64())
+		e.lastAddr = mem.AddrOf(dec.U64())
+		e.stride = dec.I64()
+		e.conf = dec.U8()
+		e.valid = dec.Bool()
+	}
+	return dec.Err()
+}
+
+// SaveState implements cache.Checkpointable.
+func (p *Streamer) SaveState(enc *state.Enc) error {
+	enc.Int(len(p.table))
+	for i := range p.table {
+		e := &p.table[i]
+		enc.U64(e.page)
+		enc.I64(e.lastBlock)
+		enc.I8(e.direction)
+		enc.U8(e.conf)
+		enc.Bool(e.valid)
+	}
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (p *Streamer) LoadState(dec *state.Dec) error {
+	if !dec.ExpectLen("streamer table", dec.Int(), len(p.table)) {
+		return dec.Err()
+	}
+	for i := range p.table {
+		e := &p.table[i]
+		e.page = dec.U64()
+		e.lastBlock = dec.I64()
+		e.direction = dec.I8()
+		e.conf = dec.U8()
+		e.valid = dec.Bool()
+	}
+	return dec.Err()
+}
+
+// SaveState implements cache.Checkpointable.
+func (p *IPCP) SaveState(enc *state.Enc) error {
+	enc.Int(len(p.ipt))
+	for i := range p.ipt {
+		e := &p.ipt[i]
+		enc.U64(e.pc.Uint64())
+		enc.U64(e.lastAddr.Uint64())
+		enc.I64(e.stride)
+		enc.U8(e.strideOK)
+		enc.U8(e.sig)
+		enc.Bool(e.valid)
+	}
+	enc.Int(len(p.cspt))
+	for _, v := range p.cspt {
+		enc.I8(v)
+	}
+	return nil
+}
+
+// LoadState implements cache.Checkpointable.
+func (p *IPCP) LoadState(dec *state.Dec) error {
+	if !dec.ExpectLen("IPCP ipt", dec.Int(), len(p.ipt)) {
+		return dec.Err()
+	}
+	for i := range p.ipt {
+		e := &p.ipt[i]
+		e.pc = mem.PCOf(dec.U64())
+		e.lastAddr = mem.AddrOf(dec.U64())
+		e.stride = dec.I64()
+		e.strideOK = dec.U8()
+		e.sig = dec.U8()
+		e.valid = dec.Bool()
+	}
+	if !dec.ExpectLen("IPCP cspt", dec.Int(), len(p.cspt)) {
+		return dec.Err()
+	}
+	for i := range p.cspt {
+		p.cspt[i] = dec.I8()
+	}
+	return dec.Err()
+}

@@ -1,0 +1,220 @@
+package simpoint
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"chrome/internal/mem"
+)
+
+// Deterministic seeded k-means over interval feature vectors. The result is
+// a pure function of (points, k, seed): k-means++ seeding draws from one
+// seeded PCG, every nearest-point decision breaks ties by strict < with the
+// lowest index winning, and the iteration cap is fixed — so repeated runs,
+// and runs under any -j N, select bit-identical representatives
+// (TestKMeansDeterministic).
+
+// kmeansMaxIter caps Lloyd iterations. Interval counts are small (tens to
+// low thousands), so convergence is typically reached in well under this.
+const kmeansMaxIter = 64
+
+// Rep is one selected representative interval.
+type Rep struct {
+	// Index is the interval's index in the profiled matrix.
+	Index int
+	// Weight is the fraction of intervals its cluster covers (weights over
+	// all representatives sum to 1).
+	Weight float64
+	// ClusterSize is the number of intervals in its cluster.
+	ClusterSize int
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeans clusters points into at most k clusters and returns the
+// assignment. Duplicate seeding collapses naturally: if fewer than k
+// distinct centroids are productive, empty clusters are dropped.
+func kmeans(points [][]float64, k int, seed uint64) []int {
+	n := len(points)
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewPCG(seed, mem.Mix64(seed^0x51359347)))
+
+	// k-means++ seeding: first centroid uniform, then each next centroid
+	// drawn with probability proportional to squared distance from the
+	// nearest chosen centroid.
+	centroids := make([][]float64, 0, k)
+	first := rng.IntN(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for i := range points {
+		d2[i] = sqDist(points[i], centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		next := 0
+		if total > 0 {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if r < acc {
+					next = i
+					break
+				}
+				// Float rounding can leave r >= acc at the end; the last
+				// point with nonzero distance wins then.
+				if d > 0 {
+					next = i
+				}
+			}
+		} else {
+			// All points coincide with a centroid; further centroids are
+			// redundant duplicates of point 0's value.
+			next = first
+		}
+		c := append([]float64(nil), points[next]...)
+		centroids = append(centroids, c)
+		for i := range points {
+			if d := sqDist(points[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sums := make([][]float64, len(centroids))
+	counts := make([]int, len(centroids))
+	for it := 0; it < kmeansMaxIter; it++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		for c := range centroids {
+			if sums[c] == nil {
+				sums[c] = make([]float64, len(points[0]))
+			}
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, x := range p {
+				sums[c][d] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // empty cluster keeps its centroid
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+// Pick clusters the interval feature vectors into at most k clusters and
+// returns one representative per non-empty cluster: the member interval
+// closest to its cluster's mean (strict <, lowest index on ties), weighted
+// by cluster mass. Representatives are ordered by interval index. The
+// result is bit-deterministic in (features, k, seed).
+func Pick(features [][]float64, k int, seed uint64) []Rep {
+	n := len(features)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	assign := kmeans(features, k, seed)
+
+	nc := 0
+	for _, c := range assign {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	// Final cluster means (the centroid array inside kmeans may lag the
+	// last reassignment; recompute from the final assignment).
+	means := make([][]float64, nc)
+	sizes := make([]int, nc)
+	for i, c := range assign {
+		if means[c] == nil {
+			means[c] = make([]float64, len(features[i]))
+		}
+		sizes[c]++
+		for d, x := range features[i] {
+			means[c][d] += x
+		}
+	}
+	for c := range means {
+		if sizes[c] == 0 {
+			continue
+		}
+		for d := range means[c] {
+			means[c][d] /= float64(sizes[c])
+		}
+	}
+
+	repIdx := make([]int, nc)
+	repD := make([]float64, nc)
+	for c := range repIdx {
+		repIdx[c] = -1
+	}
+	for i, c := range assign {
+		d := sqDist(features[i], means[c])
+		if repIdx[c] < 0 || d < repD[c] {
+			repIdx[c], repD[c] = i, d
+		}
+	}
+
+	reps := make([]Rep, 0, nc)
+	for c := 0; c < nc; c++ {
+		if sizes[c] == 0 {
+			continue
+		}
+		reps = append(reps, Rep{
+			Index:       repIdx[c],
+			Weight:      float64(sizes[c]) / float64(n),
+			ClusterSize: sizes[c],
+		})
+	}
+	// Order by interval index so downstream iteration is stream-ordered.
+	for i := 1; i < len(reps); i++ {
+		for j := i; j > 0 && reps[j].Index < reps[j-1].Index; j-- {
+			reps[j], reps[j-1] = reps[j-1], reps[j]
+		}
+	}
+	return reps
+}

@@ -1,0 +1,232 @@
+// Package simpoint implements SimPoint-style representative interval
+// selection over frozen trace recordings (DESIGN.md §10): an interval
+// profiler that walks replayers in fixed-instruction intervals emitting
+// per-interval feature vectors — a basic-block-vector analogue computable
+// from the address stream alone — and a deterministic seeded k-means that
+// picks one representative interval per cluster with weights proportional
+// to cluster mass. The experiments runner simulates only the
+// representatives (with truncated warmup) and composes weighted estimates,
+// trading a bounded estimation error for a large wall-clock reduction on
+// paper-scale budgets.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+
+	"chrome/internal/mem"
+	"chrome/internal/trace"
+)
+
+// Feature-vector layout. All features are per-record normalized, so
+// intervals of different record counts are comparable, and every dimension
+// lands in [0, 1] so squared-Euclidean clustering weighs them evenly.
+const (
+	// reuseBuckets histograms the temporal reuse interval of each access:
+	// the number of accesses on the same core since the same block was last
+	// touched, log2-bucketed. First touches land in the top bucket. This is
+	// a time-distance histogram (not an LRU stack distance) — cheap to
+	// compute in one pass and equally discriminative for phase detection.
+	reuseBuckets = 16
+	// entropyBuckets folds LLC set indices for the spread entropy feature.
+	entropyBuckets = 256
+
+	featEntropy   = reuseBuckets     // set-index spread entropy, normalized
+	featDistinct  = reuseBuckets + 1 // distinct blocks / records
+	featWrites    = reuseBuckets + 2 // write fraction
+	featDependent = reuseBuckets + 3 // dependent-load fraction
+	featGap       = reuseBuckets + 4 // mean compute gap / 256
+
+	// FeatureDim is the length of every interval feature vector.
+	FeatureDim = reuseBuckets + 5
+)
+
+// FeatureNames returns the per-dimension labels, aligned with the vectors
+// Profile emits (cmd/traces profile writes them as the CSV header).
+func FeatureNames() []string {
+	names := make([]string, 0, FeatureDim)
+	for b := 0; b < reuseBuckets; b++ {
+		names = append(names, fmt.Sprintf("reuse_log2_%d", b))
+	}
+	return append(names, "set_entropy", "distinct_ratio", "write_frac", "dependent_frac", "mean_gap")
+}
+
+// Profile is the interval feature matrix of one workload mix: one row per
+// time-aligned interval across all cores.
+type Profile struct {
+	// Interval is the per-core instruction length of each interval.
+	Interval mem.Instr
+	// Features[t] is the feature vector of interval t (record-weighted mean
+	// across cores).
+	Features [][]float64
+	// Records[t] is the total record count interval t covers across cores.
+	Records []int
+}
+
+// coreProfiler accumulates one core's per-interval features in one pass.
+type coreProfiler struct {
+	last    map[uint64]uint64 // block -> global access index of last touch
+	setHist [entropyBuckets]uint32
+	reuse   [reuseBuckets]uint32
+	accIdx  uint64 // global access counter (persists across intervals)
+
+	records   int
+	distinct  int
+	writes    int
+	dependent int
+	gapSum    uint64
+}
+
+func (cp *coreProfiler) observe(rec trace.Record, setMask uint64) {
+	cp.records++
+	cp.gapSum += uint64(rec.Gap)
+	if rec.Write {
+		cp.writes++
+	}
+	if rec.Dependent {
+		cp.dependent++
+	}
+	block := rec.Addr.Block().Uint64()
+	cp.setHist[rec.Addr.Block().Set(setMask).Int()&(entropyBuckets-1)]++
+	if lastIdx, seen := cp.last[block]; seen {
+		d := cp.accIdx - lastIdx
+		b := 0
+		for d > 1 && b < reuseBuckets-1 {
+			d >>= 1
+			b++
+		}
+		cp.reuse[b]++
+	} else {
+		cp.distinct++
+		cp.reuse[reuseBuckets-1]++
+	}
+	cp.last[block] = cp.accIdx
+	cp.accIdx++
+}
+
+// flush converts the interval's accumulators into a feature vector and
+// resets the per-interval state (the reuse map and access index persist so
+// reuse intervals cross boundaries naturally).
+func (cp *coreProfiler) flush() []float64 {
+	v := make([]float64, FeatureDim)
+	if cp.records == 0 {
+		return v
+	}
+	n := float64(cp.records)
+	for b, c := range cp.reuse {
+		v[b] = float64(c) / n
+	}
+	// Shannon entropy of the folded set-index histogram, normalized by the
+	// maximum achievable at this record count so short intervals are not
+	// penalized for having fewer samples than buckets.
+	var h float64
+	for _, c := range cp.setHist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	if maxH := math.Log2(math.Min(n, entropyBuckets)); maxH > 0 {
+		v[featEntropy] = h / maxH
+	}
+	v[featDistinct] = float64(cp.distinct) / n
+	v[featWrites] = float64(cp.writes) / n
+	v[featDependent] = float64(cp.dependent) / n
+	v[featGap] = float64(cp.gapSum) / n / 256
+
+	cp.setHist = [entropyBuckets]uint32{}
+	cp.reuse = [reuseBuckets]uint32{}
+	cp.records, cp.distinct, cp.writes, cp.dependent, cp.gapSum = 0, 0, 0, 0, 0
+	return v
+}
+
+// ProfileReplayers walks one cloned replayer per core in lockstep
+// fixed-instruction intervals and returns the time-aligned feature matrix.
+// The number of intervals is the largest T such that every core's recording
+// covers T*interval instructions (trailing partial intervals are dropped —
+// the weighted runner never replays a representative it cannot fill). The
+// walk consumes the given replayers; pass clones when the originals are
+// still needed. llcSets is the LLC set count the entropy feature folds
+// over.
+func ProfileReplayers(reps []*trace.Replayer, interval mem.Instr, llcSets int) Profile {
+	if interval == 0 {
+		panic("simpoint: interval must be positive")
+	}
+	if len(reps) == 0 {
+		panic("simpoint: no replayers")
+	}
+	if llcSets <= 0 || llcSets&(llcSets-1) != 0 {
+		panic(fmt.Sprintf("simpoint: llcSets must be a positive power of two, got %d", llcSets))
+	}
+	setMask := uint64(llcSets - 1)
+
+	// T = min over cores of whole intervals covered. A replayer's records
+	// each retire Gap+1 instructions; walk counts per core.
+	intervals := -1
+	for _, p := range reps {
+		p.Reset()
+		var instrs uint64
+		n := 0
+		for p.Pos() < p.Len() {
+			instrs += uint64(p.Next().Gap) + 1
+			if instrs >= interval.Uint64()*uint64(n+1) {
+				n++
+			}
+		}
+		if intervals < 0 || n < intervals {
+			intervals = n
+		}
+		p.Reset()
+	}
+	if intervals <= 0 {
+		return Profile{Interval: interval}
+	}
+
+	prof := Profile{
+		Interval: interval,
+		Features: make([][]float64, intervals),
+		Records:  make([]int, intervals),
+	}
+	perCore := make([][][]float64, len(reps))
+	perCoreRecs := make([][]int, len(reps))
+	for c, p := range reps {
+		cp := &coreProfiler{last: make(map[uint64]uint64, 1<<12)}
+		perCore[c] = make([][]float64, intervals)
+		perCoreRecs[c] = make([]int, intervals)
+		var instrs uint64
+		for t := 0; t < intervals; t++ {
+			bound := interval.Uint64() * uint64(t+1)
+			recs := 0
+			for instrs < bound && p.Pos() < p.Len() {
+				rec := p.Next()
+				instrs += uint64(rec.Gap) + 1
+				cp.observe(rec, setMask)
+				recs++
+			}
+			perCoreRecs[c][t] = recs
+			perCore[c][t] = cp.flush()
+		}
+	}
+	// Record-weighted mean across cores per time index keeps the dimension
+	// fixed while letting the busier core dominate the interval's signature.
+	for t := 0; t < intervals; t++ {
+		v := make([]float64, FeatureDim)
+		total := 0
+		for c := range reps {
+			recs := perCoreRecs[c][t]
+			total += recs
+			for d, x := range perCore[c][t] {
+				v[d] += x * float64(recs)
+			}
+		}
+		if total > 0 {
+			for d := range v {
+				v[d] /= float64(total)
+			}
+		}
+		prof.Features[t] = v
+		prof.Records[t] = total
+	}
+	return prof
+}

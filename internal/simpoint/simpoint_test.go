@@ -1,0 +1,159 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"chrome/internal/mem"
+	"chrome/internal/trace"
+)
+
+// twoPhaseRecording builds a stream alternating between a cache-friendly
+// small working set and a streaming phase, so intervals have two clearly
+// separable signatures.
+func twoPhaseRecording(t *testing.T, budget mem.Instr) *trace.Recording {
+	t.Helper()
+	gen := trace.NewPhased("two-phase", 4000,
+		trace.NewWorkingSet(trace.WorkingSetConfig{
+			Name: "ws", Region: 1, Size: 1 << 16, HotFrac: 0.9, Gap: 2, Seed: 7,
+		}),
+		trace.NewStream(trace.StreamConfig{
+			Name: "stream", Region: 2, Size: 8 << 20, Gap: 2, Seed: 7,
+		}),
+	)
+	return trace.RecordStream(gen, budget)
+}
+
+func TestProfileShape(t *testing.T) {
+	rec := twoPhaseRecording(t, 100_000)
+	prof := ProfileReplayers([]*trace.Replayer{rec.Replayer(0)}, 10_000, 512)
+	if len(prof.Features) == 0 {
+		t.Fatal("no intervals profiled")
+	}
+	if len(prof.Features) > 10 {
+		t.Fatalf("profiled %d intervals from a 100K stream at 10K interval", len(prof.Features))
+	}
+	for tIdx, v := range prof.Features {
+		if len(v) != FeatureDim {
+			t.Fatalf("interval %d: %d dims, want %d", tIdx, len(v), FeatureDim)
+		}
+		if prof.Records[tIdx] == 0 {
+			t.Fatalf("interval %d covers no records", tIdx)
+		}
+		var reuseSum float64
+		for d := 0; d < FeatureDim; d++ {
+			if math.IsNaN(v[d]) || v[d] < 0 || v[d] > 1+1e-9 {
+				t.Fatalf("interval %d dim %d = %v outside [0,1]", tIdx, d, v[d])
+			}
+			if d < reuseBuckets {
+				reuseSum += v[d]
+			}
+		}
+		if math.Abs(reuseSum-1) > 1e-9 {
+			t.Fatalf("interval %d reuse histogram sums to %v", tIdx, reuseSum)
+		}
+	}
+	if len(FeatureNames()) != FeatureDim {
+		t.Fatalf("FeatureNames has %d entries, want %d", len(FeatureNames()), FeatureDim)
+	}
+}
+
+func TestProfileMultiCoreAlignment(t *testing.T) {
+	rec := twoPhaseRecording(t, 60_000)
+	reps := []*trace.Replayer{rec.Replayer(0), rec.Replayer(1 << 28)}
+	prof := ProfileReplayers(reps, 10_000, 512)
+	single := ProfileReplayers([]*trace.Replayer{rec.Replayer(0)}, 10_000, 512)
+	if len(prof.Features) != len(single.Features) {
+		t.Fatalf("2-core profile has %d intervals, 1-core has %d", len(prof.Features), len(single.Features))
+	}
+	// Identical streams (modulo rebase, which shifts whole addresses but
+	// preserves blocks-per-core structure) must yield identical signatures.
+	for tIdx := range prof.Features {
+		for d := range prof.Features[tIdx] {
+			if math.Abs(prof.Features[tIdx][d]-single.Features[tIdx][d]) > 1e-12 {
+				t.Fatalf("interval %d dim %d: 2-core %v vs 1-core %v",
+					tIdx, d, prof.Features[tIdx][d], single.Features[tIdx][d])
+			}
+		}
+	}
+}
+
+// TestKMeansDeterministic is the bit-determinism gate the weighted runner
+// relies on for byte-identical output at any -j N: repeated Pick calls at
+// equal inputs and seeds must agree exactly.
+func TestKMeansDeterministic(t *testing.T) {
+	rec := twoPhaseRecording(t, 200_000)
+	prof := ProfileReplayers([]*trace.Replayer{rec.Replayer(0)}, 5_000, 512)
+	base := Pick(prof.Features, 4, 42)
+	if len(base) == 0 {
+		t.Fatal("no representatives picked")
+	}
+	for run := 0; run < 10; run++ {
+		prof2 := ProfileReplayers([]*trace.Replayer{rec.Replayer(0)}, 5_000, 512)
+		got := Pick(prof2.Features, 4, 42)
+		if len(got) != len(base) {
+			t.Fatalf("run %d: %d reps vs %d", run, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("run %d rep %d: %+v vs %+v", run, i, got[i], base[i])
+			}
+		}
+	}
+	// A different seed is allowed to differ; a different k must not panic.
+	Pick(prof.Features, 1, 42)
+	Pick(prof.Features, 1000, 42)
+}
+
+func TestPickWeightsSumToOne(t *testing.T) {
+	rec := twoPhaseRecording(t, 200_000)
+	prof := ProfileReplayers([]*trace.Replayer{rec.Replayer(0)}, 5_000, 512)
+	for _, k := range []int{1, 2, 4, 8} {
+		reps := Pick(prof.Features, k, 7)
+		var total float64
+		seen := map[int]bool{}
+		last := -1
+		for _, r := range reps {
+			total += r.Weight
+			if seen[r.Index] {
+				t.Fatalf("k=%d: duplicate representative index %d", k, r.Index)
+			}
+			seen[r.Index] = true
+			if r.Index <= last {
+				t.Fatalf("k=%d: representatives not index-ordered: %v", k, reps)
+			}
+			last = r.Index
+			if r.Index < 0 || r.Index >= len(prof.Features) {
+				t.Fatalf("k=%d: representative index %d out of range", k, r.Index)
+			}
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("k=%d: weights sum to %v", k, total)
+		}
+	}
+}
+
+// TestPickSeparatesPhases checks the end-to-end phase-detection property:
+// on a 2-phase stream, 2-cluster picking must place the two representatives
+// in intervals of different phases, with roughly balanced weights.
+func TestPickSeparatesPhases(t *testing.T) {
+	// 4000-record phases; at ~3 instr/record the phase length in
+	// instructions is ~12K, so 12K intervals roughly track phases.
+	rec := twoPhaseRecording(t, 400_000)
+	prof := ProfileReplayers([]*trace.Replayer{rec.Replayer(0)}, 12_000, 512)
+	reps := Pick(prof.Features, 2, 1)
+	if len(reps) != 2 {
+		t.Fatalf("picked %d reps, want 2: %+v", len(reps), reps)
+	}
+	// The phases are balanced in the stream, so neither cluster may be
+	// degenerate.
+	for _, r := range reps {
+		if r.Weight < 0.15 || r.Weight > 0.85 {
+			t.Fatalf("unbalanced clusters on a balanced 2-phase stream: %+v", reps)
+		}
+	}
+	// The two representatives' signatures must actually differ.
+	if sqDist(prof.Features[reps[0].Index], prof.Features[reps[1].Index]) < 1e-6 {
+		t.Fatalf("representatives have identical signatures: %+v", reps)
+	}
+}

@@ -1,0 +1,217 @@
+// Package state is the binary codec the checkpoint subsystem serializes
+// simulator component state with (DESIGN.md §10). It is deliberately dumb:
+// fixed-width little-endian primitives, no reflection, no schema — each
+// component writes its mutable fields in a fixed order with SaveState and
+// reads them back in the same order with LoadState. The composing layer
+// (sim.Checkpoint) owns framing, versioning and checksumming; this package
+// only guarantees that a Dec never panics on truncated or oversized input
+// and that every decode error is sticky.
+package state
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is wrapped by every decode error: truncation, forged lengths,
+// or trailing garbage.
+var ErrCorrupt = errors.New("state: corrupt checkpoint payload")
+
+// Enc appends fixed-width little-endian values to a growing buffer.
+type Enc struct {
+	buf []byte
+}
+
+// NewEnc returns an encoder with the given initial capacity hint.
+func NewEnc(sizeHint int) *Enc {
+	return &Enc{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Enc) Len() int { return len(e.buf) }
+
+func (e *Enc) U8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *Enc) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *Enc) I8(v int8)    { e.U8(uint8(v)) }
+func (e *Enc) I16(v int16)  { e.U16(uint16(v)) }
+func (e *Enc) I32(v int32)  { e.U32(uint32(v)) }
+func (e *Enc) I64(v int64)  { e.U64(uint64(v)) }
+func (e *Enc) Int(v int)    { e.I64(int64(v)) }
+func (e *Enc) F64(v float64) {
+	e.U64(math.Float64bits(v))
+}
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Bytes64 writes a length-prefixed byte string.
+func (e *Enc) BytesN(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String writes a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Dec reads fixed-width little-endian values from a buffer. The first
+// failure latches: every later read returns the zero value, so component
+// LoadState code can decode unconditionally and check Err once at the end.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over the payload.
+func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// Err returns the first decode error, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+// Close verifies the payload was consumed exactly.
+func (d *Dec) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		d.fail("trailing garbage: %d of %d bytes unread", len(d.buf)-d.off, len(d.buf))
+	}
+	return d.err
+}
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// take returns the next n bytes, or nil after latching an error.
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("truncated: need %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Dec) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *Dec) I8() int8   { return int8(d.U8()) }
+func (d *Dec) I16() int16 { return int16(d.U16()) }
+func (d *Dec) I32() int32 { return int32(d.U32()) }
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int decodes a 64-bit value and checks it fits the host int.
+func (d *Dec) Int() int {
+	v := d.I64()
+	n := int(v)
+	if int64(n) != v {
+		d.fail("int64 %d overflows host int", v)
+		return 0
+	}
+	return n
+}
+
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+func (d *Dec) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bool byte out of range")
+		return false
+	}
+}
+
+// BytesN reads a length-prefixed byte string. A forged length larger than
+// the remaining payload fails immediately instead of allocating.
+func (d *Dec) BytesN() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("forged byte-string length %d with %d bytes remaining", n, d.Remaining())
+		return nil
+	}
+	b := d.take(int(n)) //chromevet:allow narrowing -- bounded by Remaining() above
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string { return string(d.BytesN()) }
+
+// ExpectLen checks a decoded length against the length the live component
+// was constructed with. Checkpoints restore in place into an identically
+// configured system, so any mismatch means the payload belongs to a
+// different configuration.
+func (d *Dec) ExpectLen(what string, got, want int) bool {
+	if d.err != nil {
+		return false
+	}
+	if got != want {
+		d.fail("%s: checkpoint has %d entries, live component has %d", what, got, want)
+		return false
+	}
+	return true
+}

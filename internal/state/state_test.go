@@ -1,0 +1,143 @@
+package state
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEnc(64)
+	e.U8(0xab)
+	e.U16(0xcdef)
+	e.U32(0xdeadbeef)
+	e.U64(0x0123456789abcdef)
+	e.I8(-5)
+	e.I16(-1234)
+	e.I32(-123456)
+	e.I64(-1234567890123)
+	e.Int(-42)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.Bool(true)
+	e.Bool(false)
+	e.BytesN([]byte{1, 2, 3})
+	e.BytesN(nil)
+	e.String("checkpoint")
+
+	d := NewDec(e.Bytes())
+	if got := d.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := d.U16(); got != 0xcdef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I8(); got != -5 {
+		t.Errorf("I8 = %d", got)
+	}
+	if got := d.I16(); got != -1234 {
+		t.Errorf("I16 = %d", got)
+	}
+	if got := d.I32(); got != -123456 {
+		t.Errorf("I32 = %d", got)
+	}
+	if got := d.I64(); got != -1234567890123 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool false")
+	}
+	if got := d.BytesN(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("BytesN = %v", got)
+	}
+	if got := d.BytesN(); len(got) != 0 {
+		t.Errorf("empty BytesN = %v", got)
+	}
+	if got := d.String(); got != "checkpoint" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestTruncationLatches(t *testing.T) {
+	e := NewEnc(8)
+	e.U32(7)
+	d := NewDec(e.Bytes())
+	if got := d.U64(); got != 0 {
+		t.Errorf("truncated U64 = %d, want 0", got)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("truncation error %v does not wrap ErrCorrupt", d.Err())
+	}
+	// Every later read stays zero without touching the buffer.
+	if got := d.U8(); got != 0 {
+		t.Errorf("post-error U8 = %d", got)
+	}
+	if d.Close() == nil {
+		t.Fatal("Close after error returned nil")
+	}
+}
+
+func TestForgedLength(t *testing.T) {
+	e := NewEnc(8)
+	e.U64(1 << 60) // forged BytesN length, no data behind it
+	d := NewDec(e.Bytes())
+	if b := d.BytesN(); b != nil {
+		t.Errorf("forged BytesN returned %d bytes", len(b))
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("forged-length error %v does not wrap ErrCorrupt", d.Err())
+	}
+}
+
+func TestTrailingGarbage(t *testing.T) {
+	e := NewEnc(8)
+	e.U32(1)
+	e.U32(2)
+	d := NewDec(e.Bytes())
+	d.U32()
+	if err := d.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Close with 4 unread bytes: %v", err)
+	}
+}
+
+func TestExpectLen(t *testing.T) {
+	d := NewDec(nil)
+	if !d.ExpectLen("blocks", 8, 8) {
+		t.Fatal("matching ExpectLen returned false")
+	}
+	if d.ExpectLen("blocks", 8, 16) {
+		t.Fatal("mismatched ExpectLen returned true")
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("ExpectLen error %v does not wrap ErrCorrupt", d.Err())
+	}
+}
+
+func TestBadBoolByte(t *testing.T) {
+	d := NewDec([]byte{2})
+	d.Bool()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("bool byte 2: %v", d.Err())
+	}
+}

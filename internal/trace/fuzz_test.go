@@ -8,9 +8,10 @@ import (
 	"chrome/internal/mem"
 )
 
-// seedRecordingBytes serializes a small valid recording for the fuzz seed
-// corpus, so mutation starts from inputs that pass the header checks.
-func seedRecordingBytes(t testing.TB) []byte {
+// seedRecordingBytes serializes a small valid recording in the requested
+// format version for the fuzz seed corpus, so mutation starts from inputs
+// that pass the header checks.
+func seedRecordingBytes(t testing.TB, version uint8) []byte {
 	t.Helper()
 	rec := &Recording{name: "fuzz-seed"}
 	for i := 0; i < 8; i++ {
@@ -24,41 +25,77 @@ func seedRecordingBytes(t testing.TB) []byte {
 	}
 	rec.Freeze()
 	var buf bytes.Buffer
-	if err := WriteRecording(&buf, rec); err != nil {
+	if err := writeRecordingVersion(&buf, rec, version); err != nil {
 		t.Fatalf("writing seed recording: %v", err)
 	}
 	return buf.Bytes()
 }
 
-// FuzzReadRecording checks the CHRC v1 reader's contract on arbitrary
-// bytes: every malformed input yields an error wrapping ErrBadTrace (never
-// a panic, never a bare error), and every accepted input round-trips
-// through WriteRecording to an equivalent recording. The experiments
-// runner trusts this: a stale or corrupted -tracedir file must fail loudly
-// instead of silently perturbing results (DESIGN.md §8).
+// TestReadRecordingAcceptsBothVersions pins the compatibility contract: a
+// v1 file and a v2 file of the same recording load to identical columns
+// (the checksum covers all four), and the v2 gap column is never larger
+// than the raw v1 column it replaces.
+func TestReadRecordingAcceptsBothVersions(t *testing.T) {
+	v1 := seedRecordingBytes(t, recordingVersionV1)
+	v2 := seedRecordingBytes(t, recordingVersion)
+	rec1, err := ReadRecording(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("reading v1: %v", err)
+	}
+	rec2, err := ReadRecording(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("reading v2: %v", err)
+	}
+	if rec1.Len() != rec2.Len() || rec1.Instructions() != rec2.Instructions() ||
+		rec1.Checksum() != rec2.Checksum() {
+		t.Fatalf("v1/v2 mismatch: %d/%d/%x vs %d/%d/%x",
+			rec1.Len(), rec1.Instructions(), rec1.Checksum(),
+			rec2.Len(), rec2.Instructions(), rec2.Checksum())
+	}
+}
+
+// FuzzReadRecording checks the CHRC reader's contract on arbitrary bytes
+// across both format versions (v1 raw gaps, v2 varint-delta gaps): every
+// malformed input yields an error wrapping ErrBadTrace (never a panic,
+// never a bare error), and every accepted input round-trips through
+// WriteRecording to an equivalent recording. The experiments runner trusts
+// this: a stale or corrupted -tracedir file must fail loudly instead of
+// silently perturbing results (DESIGN.md §8).
 func FuzzReadRecording(f *testing.F) {
-	valid := seedRecordingBytes(f)
-	f.Add(valid)
-	// Truncations at every structural boundary: mid-magic, mid-header,
-	// mid-name, mid-counts, mid-columns.
-	for _, cut := range []int{0, 3, 5, 9, 12, 19, 27, 34, 42, len(valid) - 1} {
-		if cut >= 0 && cut < len(valid) {
-			f.Add(append([]byte(nil), valid[:cut]...))
+	for _, version := range []uint8{recordingVersionV1, recordingVersion} {
+		valid := seedRecordingBytes(f, version)
+		f.Add(valid)
+		// Truncations at every structural boundary: mid-magic, mid-header,
+		// mid-name, mid-counts, mid-columns.
+		for _, cut := range []int{0, 3, 5, 9, 12, 19, 27, 34, 42, len(valid) - 1} {
+			if cut >= 0 && cut < len(valid) {
+				f.Add(append([]byte(nil), valid[:cut]...))
+			}
 		}
+		// Single-byte corruptions of the magic, version, counts, and
+		// checksum.
+		for _, flip := range []int{0, 4, 20, 28, 36} {
+			mut := append([]byte(nil), valid...)
+			mut[flip] ^= 0xff
+			f.Add(mut)
+		}
+		// Corruptions of the gap column tail: in v2 these hit the delta
+		// stream and its length prefix.
+		for _, flip := range []int{len(valid) - 1, len(valid) - 5, len(valid) - 9} {
+			if flip >= 0 {
+				mut := append([]byte(nil), valid...)
+				mut[flip] ^= 0xff
+				f.Add(mut)
+			}
+		}
+		// A forged header claiming 2^60 records with no data behind it:
+		// must fail as truncation, not attempt the allocation.
+		forged := append([]byte(nil), valid[:19]...)       // header + "fuzz-seed"
+		forged = append(forged, 0, 0, 0, 0, 0, 0, 0, 0x10) // count = 1<<60
+		forged = append(forged, 0, 0, 0, 0, 0, 0, 0, 0x10) // instrs = 1<<60
+		forged = append(forged, 0, 0, 0, 0, 0, 0, 0, 0)    // checksum
+		f.Add(forged)
 	}
-	// Single-byte corruptions of the magic, version, counts, and checksum.
-	for _, flip := range []int{0, 4, 20, 28, 36} {
-		mut := append([]byte(nil), valid...)
-		mut[flip] ^= 0xff
-		f.Add(mut)
-	}
-	// A forged header claiming 2^60 records with no data behind it: must
-	// fail as truncation, not attempt the allocation.
-	forged := append([]byte(nil), valid[:19]...)       // header + "fuzz-seed"
-	forged = append(forged, 0, 0, 0, 0, 0, 0, 0, 0x10) // count = 1<<60
-	forged = append(forged, 0, 0, 0, 0, 0, 0, 0, 0x10) // instrs = 1<<60
-	forged = append(forged, 0, 0, 0, 0, 0, 0, 0, 0)    // checksum
-	f.Add(forged)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec, err := ReadRecording(bytes.NewReader(data))

@@ -23,20 +23,41 @@ import (
 //	pcs      count x u64 LE
 //	addrs    count x u64 LE
 //	kinds    count x u8
-//	gaps     count x u8
+//	gaps     (version 1) count x u8
+//	gaps     (version 2) gapLen u64 LE, then gapLen bytes of
+//	         zigzag-varint deltas between consecutive gap values
 //
-// Everything after the header is raw column data, so a load is four bulk
-// reads. The checksum (and a recomputed instrs) is validated on load: a
-// truncated, corrupted, or stale file yields ErrBadTrace, never a silently
-// different experiment input.
+// Everything after the header is raw column data, so a load is a handful of
+// bulk reads. The checksum (and a recomputed instrs) is validated on load:
+// a truncated, corrupted, or stale file yields ErrBadTrace, never a
+// silently different experiment input.
+//
+// Version 2 replaces the raw gap column with zigzag-varint-encoded deltas:
+// workload gaps cluster around a few values, so the delta stream compresses
+// under any downstream file compression far better than the raw column,
+// while a delta that walks outside [0, 255] or trailing bytes after the
+// final delta are rejected as corruption. Version 1 files remain readable;
+// WriteRecording always emits version 2.
 
 var recordingMagic = [4]byte{'C', 'H', 'R', 'C'}
 
-// recordingVersion is the current recording format version.
-const recordingVersion = 1
+// Recording format versions: v1 stores the gap column raw, v2 stores it
+// varint-delta encoded. The writer emits recordingVersion; the reader
+// accepts both.
+const (
+	recordingVersionV1 = 1
+	recordingVersion   = 2
+)
 
-// WriteRecording serializes a frozen recording to w.
+// WriteRecording serializes a frozen recording to w in the current format
+// version.
 func WriteRecording(w io.Writer, rec *Recording) error {
+	return writeRecordingVersion(w, rec, recordingVersion)
+}
+
+// writeRecordingVersion serializes rec in the requested format version. The
+// v1 path exists so compatibility tests can produce v1 files.
+func writeRecordingVersion(w io.Writer, rec *Recording, version uint8) error {
 	if !rec.frozen {
 		panic("trace: WriteRecording of unfrozen recording " + rec.name)
 	}
@@ -46,7 +67,7 @@ func WriteRecording(w io.Writer, rec *Recording) error {
 	bw := bufio.NewWriter(w)
 	header := make([]byte, 10)
 	copy(header, recordingMagic[:])
-	header[4] = recordingVersion
+	header[4] = version
 	binary.LittleEndian.PutUint16(header[8:], uint16(len(rec.name)))
 	if _, err := bw.Write(header); err != nil {
 		return err
@@ -72,10 +93,61 @@ func WriteRecording(w io.Writer, rec *Recording) error {
 	if _, err := bw.Write(rec.kinds); err != nil {
 		return err
 	}
-	if _, err := bw.Write(rec.gaps); err != nil {
+	if version == recordingVersionV1 {
+		if _, err := bw.Write(rec.gaps); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	enc := encodeGapDeltas(rec.gaps)
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(enc)))
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(enc); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// encodeGapDeltas zigzag-varint encodes the differences between consecutive
+// gap values (the first delta is taken from zero). Gaps fit a byte, so each
+// delta is in [-255, 255] and encodes to at most two bytes.
+func encodeGapDeltas(gaps []uint8) []byte {
+	out := make([]byte, 0, len(gaps))
+	var tmp [binary.MaxVarintLen16]byte
+	prev := int64(0)
+	for _, g := range gaps {
+		n := binary.PutVarint(tmp[:], int64(g)-prev)
+		out = append(out, tmp[:n]...)
+		prev = int64(g)
+	}
+	return out
+}
+
+// decodeGapDeltas reverses encodeGapDeltas, validating that every delta
+// stays a decodable varint, that the reconstructed walk stays within a
+// byte, and that no bytes trail the final delta.
+func decodeGapDeltas(enc []byte, count uint64) ([]uint8, error) {
+	gaps := make([]uint8, 0, min(count, recordingChunk))
+	prev, pos := int64(0), 0
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Varint(enc[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated gap delta %d of %d", ErrBadTrace, i, count)
+		}
+		pos += n
+		v := prev + d
+		if v < 0 || v > 255 {
+			return nil, fmt.Errorf("%w: gap delta %d walks to %d, outside [0, 255]", ErrBadTrace, i, v)
+		}
+		gaps = append(gaps, uint8(v))
+		prev = v
+	}
+	if pos != len(enc) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after gap deltas", ErrBadTrace, len(enc)-pos)
+	}
+	return gaps, nil
 }
 
 // ReadRecording deserializes and validates a recording; the result is
@@ -90,8 +162,9 @@ func ReadRecording(r io.Reader) (*Recording, error) {
 	if [4]byte(header[:4]) != recordingMagic {
 		return nil, fmt.Errorf("%w: bad recording magic %q", ErrBadTrace, header[:4])
 	}
-	if header[4] != recordingVersion {
-		return nil, fmt.Errorf("%w: unsupported recording version %d", ErrBadTrace, header[4])
+	version := header[4]
+	if version != recordingVersionV1 && version != recordingVersion {
+		return nil, fmt.Errorf("%w: unsupported recording version %d", ErrBadTrace, version)
 	}
 	name := make([]byte, binary.LittleEndian.Uint16(header[8:]))
 	if _, err := io.ReadFull(br, name); err != nil {
@@ -131,8 +204,27 @@ func ReadRecording(r io.Reader) (*Recording, error) {
 	if rec.kinds, err = readU8Column(br, count, "kinds column"); err != nil {
 		return nil, err
 	}
-	if rec.gaps, err = readU8Column(br, count, "gaps column"); err != nil {
-		return nil, err
+	if version == recordingVersionV1 {
+		if rec.gaps, err = readU8Column(br, count, "gaps column"); err != nil {
+			return nil, err
+		}
+	} else {
+		gapLen, err := readU64("gap column length")
+		if err != nil {
+			return nil, err
+		}
+		// Each delta encodes to one or two bytes, so anything outside
+		// [count, 2*count] is a forged length.
+		if gapLen < count || gapLen > 2*count {
+			return nil, fmt.Errorf("%w: gap column of %d bytes cannot encode %d deltas", ErrBadTrace, gapLen, count)
+		}
+		enc, err := readU8Column(br, gapLen, "gaps column")
+		if err != nil {
+			return nil, err
+		}
+		if rec.gaps, err = decodeGapDeltas(enc, count); err != nil {
+			return nil, err
+		}
 	}
 	for _, g := range rec.gaps {
 		rec.instrs += uint64(g) + 1

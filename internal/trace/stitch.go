@@ -1,0 +1,118 @@
+package trace
+
+// Stitched replay (DESIGN.md §10). A StitchedReplayer plays selected
+// fixed-length segments of one frozen recording back-to-back, seeking the
+// underlying replayer between them, so a single simulated system can visit
+// every representative interval of a SimPoint-style sample in stream order
+// while carrying its full microarchitectural state — warm caches, trained
+// policies, in-flight DRAM pressure — across the skipped regions. The
+// consumer sees one continuous Generator stream whose seams land at exact
+// multiples of the nominal segment length in delivered instructions
+// (self-correcting against record-boundary rounding), which is what lets
+// the segmented runner place warmup/measure boundaries with plain
+// retired-instruction targets.
+
+import (
+	"fmt"
+
+	"chrome/internal/mem"
+)
+
+// StitchedReplayer serves a frozen recording's selected segments through
+// the Generator interface.
+type StitchedReplayer struct {
+	r *Replayer
+	// starts are the stream-instruction positions the segments begin at,
+	// strictly ascending.
+	starts []mem.Instr
+	// segLen is the nominal delivered length of every segment.
+	segLen mem.Instr
+	// cur indexes the segment currently playing.
+	cur int
+	// delivered counts instructions served since construction; the next
+	// seam sits at (cur+1)*segLen, so per-record rounding overshoot in one
+	// segment shortens the next instead of accumulating drift.
+	delivered uint64
+	// streamPos is the underlying stream's cumulative instruction position
+	// at the replayer's cursor, letting forward seeks skip from the current
+	// record instead of rescanning the whole prefix (segment starts are
+	// ascending, so almost every seam is a forward skip).
+	streamPos uint64
+}
+
+// NewStitched returns a stitched view over the replayer: segment j plays
+// the stream from starts[j] for segLen instructions (the last record of a
+// segment may overshoot the nominal length by its Gap; the seam
+// self-corrects). Starts must be strictly ascending so state always moves
+// forward in stream order. The replayer is repositioned immediately; the
+// caller must not use it afterwards.
+func NewStitched(r *Replayer, starts []mem.Instr, segLen mem.Instr) *StitchedReplayer {
+	if len(starts) == 0 {
+		panic("trace: stitched replay of " + r.Name() + " needs at least one segment")
+	}
+	if segLen == 0 {
+		panic("trace: stitched replay of " + r.Name() + " needs a positive segment length")
+	}
+	for j := 1; j < len(starts); j++ {
+		if starts[j] <= starts[j-1] {
+			panic(fmt.Sprintf("trace: stitched segments of %q not strictly ascending: starts[%d]=%d <= starts[%d]=%d",
+				r.Name(), j, starts[j], j-1, starts[j-1]))
+		}
+	}
+	s := &StitchedReplayer{r: r, starts: starts, segLen: segLen}
+	s.streamPos = s.r.SeekToInstruction(starts[0]).Uint64()
+	return s
+}
+
+// Next serves the next record, seeking to the following segment once the
+// current one has delivered its share of the nominal schedule.
+func (s *StitchedReplayer) Next() Record {
+	if s.cur+1 < len(s.starts) && s.delivered >= uint64(s.cur+1)*s.segLen.Uint64() {
+		s.cur++
+		s.seekTo(s.starts[s.cur])
+	}
+	rec := s.r.Next()
+	step := uint64(rec.Gap) + 1
+	s.delivered += step
+	s.streamPos += step
+	return rec
+}
+
+// seekTo positions the underlying replayer at target, skipping forward
+// from the current cursor when possible (the common case: segment starts
+// ascend faster than segments deliver). A backward target — a segment
+// whose re-warm overlaps the previous segment's tail — falls back to the
+// replayer's prefix rescan.
+func (s *StitchedReplayer) seekTo(target mem.Instr) {
+	if target.Uint64() < s.streamPos {
+		s.streamPos = s.r.SeekToInstruction(target).Uint64()
+		return
+	}
+	i, pos := s.r.Pos(), s.streamPos
+	for i < len(s.r.gaps) {
+		step := uint64(s.r.gaps[i]) + 1
+		if pos+step > target.Uint64() {
+			break
+		}
+		pos += step
+		i++
+	}
+	s.r.Seek(i)
+	s.streamPos = pos
+}
+
+// Reset rewinds to the first segment's start.
+func (s *StitchedReplayer) Reset() {
+	s.cur = 0
+	s.delivered = 0
+	s.streamPos = s.r.SeekToInstruction(s.starts[0]).Uint64()
+}
+
+// Name returns the underlying recording's workload name.
+func (s *StitchedReplayer) Name() string { return s.r.Name() }
+
+// Segments returns the number of segments in the schedule.
+func (s *StitchedReplayer) Segments() int { return len(s.starts) }
+
+// Delivered returns the instructions served since construction or Reset.
+func (s *StitchedReplayer) Delivered() mem.Instr { return mem.InstrOf(s.delivered) }

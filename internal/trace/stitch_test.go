@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"testing"
+
+	"chrome/internal/mem"
+)
+
+// stitchGen yields records with PC = record index and a fixed gap, so a
+// stitched stream's origin is readable off each record.
+type stitchGen struct {
+	i   uint64
+	gap uint8
+}
+
+func (g *stitchGen) Next() Record {
+	r := Record{PC: mem.PCOf(g.i), Addr: mem.AddrOf(g.i << 6), Gap: g.gap}
+	g.i++
+	return r
+}
+func (g *stitchGen) Reset()       { g.i = 0 }
+func (g *stitchGen) Name() string { return "stitch-gen" }
+
+// TestStitchedPlaysSegmentsInOrder checks that each segment starts at its
+// requested stream position and seams land on the nominal schedule.
+func TestStitchedPlaysSegmentsInOrder(t *testing.T) {
+	rec := RecordStream(&stitchGen{gap: 4}, 10_000) // 2000 records, 5 instr each
+	starts := []mem.Instr{500, 3_000, 7_500}
+	const segLen = mem.Instr(1_000)
+	s := NewStitched(rec.Replayer(0), starts, segLen)
+
+	var delivered uint64
+	for seg, start := range starts {
+		// The first record of the segment is the one SeekToInstruction
+		// lands on: cumulative instruction count start/5 records in.
+		r := s.Next()
+		wantPC := start.Uint64() / 5
+		if r.PC.Uint64() != wantPC {
+			t.Fatalf("segment %d: first record PC %d, want %d (stream start %d)", seg, r.PC.Uint64(), wantPC, start)
+		}
+		delivered += 5
+		for delivered < uint64(seg+1)*segLen.Uint64() {
+			r = s.Next()
+			delivered += 5
+		}
+	}
+	if got := s.Delivered().Uint64(); got != delivered {
+		t.Fatalf("Delivered() = %d, want %d", got, delivered)
+	}
+	if s.Segments() != len(starts) {
+		t.Fatalf("Segments() = %d, want %d", s.Segments(), len(starts))
+	}
+}
+
+// TestStitchedSeamSelfCorrects verifies that record-boundary overshoot in
+// one segment shortens the next segment instead of accumulating drift:
+// with 5-instruction records and a segment length not divisible by 5, each
+// seam still lands within one record of the nominal schedule.
+func TestStitchedSeamSelfCorrects(t *testing.T) {
+	rec := RecordStream(&stitchGen{gap: 4}, 50_000)
+	starts := []mem.Instr{0, 10_000, 20_000, 30_000, 40_000}
+	const segLen = mem.Instr(1_003) // overshoots by 2 every segment
+	s := NewStitched(rec.Replayer(0), starts, segLen)
+
+	prevPC := uint64(0)
+	seams := 0
+	for s.Delivered() < mem.Instr(uint64(len(starts))*segLen.Uint64()) {
+		r := s.Next()
+		if pc := r.PC.Uint64(); pc != prevPC && pc != prevPC+1 && prevPC != 0 {
+			// A jump marks a seam: it must land at a multiple of segLen in
+			// delivered coordinates, within one record's worth of rounding.
+			seams++
+			at := s.Delivered().Uint64() - 5 // before this record
+			nominal := uint64(seams) * segLen.Uint64()
+			if at+5 < nominal || at > nominal+5 {
+				t.Fatalf("seam %d at delivered %d, want within one record of %d", seams, at, nominal)
+			}
+		}
+		prevPC = r.PC.Uint64()
+	}
+	if seams != len(starts)-1 {
+		t.Fatalf("observed %d seams, want %d", seams, len(starts)-1)
+	}
+}
+
+// TestStitchedReset rewinds to a byte-identical replay.
+func TestStitchedReset(t *testing.T) {
+	rec := RecordStream(&stitchGen{gap: 4}, 10_000)
+	s := NewStitched(rec.Replayer(128), []mem.Instr{100, 4_000}, 500)
+	var first []Record
+	for i := 0; i < 150; i++ {
+		first = append(first, s.Next())
+	}
+	s.Reset()
+	for i := 0; i < 150; i++ {
+		if got := s.Next(); got != first[i] {
+			t.Fatalf("record %d after Reset: %+v, want %+v", i, got, first[i])
+		}
+	}
+}
+
+// TestStitchedRejectsBadSchedules covers the constructor's panics.
+func TestStitchedRejectsBadSchedules(t *testing.T) {
+	rec := RecordStream(&stitchGen{gap: 4}, 1_000)
+	for name, fn := range map[string]func(){
+		"no segments":   func() { NewStitched(rec.Replayer(0), nil, 100) },
+		"zero length":   func() { NewStitched(rec.Replayer(0), []mem.Instr{0}, 0) },
+		"non-ascending": func() { NewStitched(rec.Replayer(0), []mem.Instr{200, 100}, 50) },
+		"equal starts":  func() { NewStitched(rec.Replayer(0), []mem.Instr{100, 100}, 50) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
