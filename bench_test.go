@@ -20,6 +20,7 @@ package chrome
 //	go test -bench=BenchmarkFig10
 
 import (
+	"fmt"
 	"testing"
 
 	"chrome/internal/cache"
@@ -29,6 +30,7 @@ import (
 	"chrome/internal/experiments"
 	"chrome/internal/mem"
 	"chrome/internal/metrics"
+	"chrome/internal/objcache"
 	"chrome/internal/policy"
 	"chrome/internal/sim"
 	"chrome/internal/trace"
@@ -409,3 +411,31 @@ func BenchmarkEndToEnd4CoreReplay(b *testing.B) {
 	}
 	reportMIPS(b, instructions)
 }
+
+// benchmarkObjCache measures one closed-loop keyed operation (Get, with a
+// cache-aside Set on miss) against a single-shard object store — the
+// service-side per-request cost of the lifted agent (DESIGN.md §12)
+// against the LRU baseline.
+func benchmarkObjCache(b *testing.B, pol string) {
+	c := objcache.New(objcache.Config{Shards: 1, CapacityBytes: 8 << 20, Policy: pol, Seed: 1})
+	defer c.Close()
+	const keys = 8192
+	names := make([]string, keys)
+	vals := make([][]byte, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("k%05d", i)
+		vals[i] = make([]byte, 64+(uint64(i)*2654435761)%2048)
+	}
+	r := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = mem.Mix64(r)
+		k := int(r % keys)
+		if _, ok := c.Get(names[k]); !ok {
+			c.Set(names[k], vals[k])
+		}
+	}
+}
+
+func BenchmarkObjCacheLRU(b *testing.B)    { benchmarkObjCache(b, "lru") }
+func BenchmarkObjCacheCHROME(b *testing.B) { benchmarkObjCache(b, "chrome") }

@@ -106,6 +106,9 @@ func Analyzers() []*Analyzer {
 		analyzerShardOwn(),
 		analyzerJoinSync(),
 		analyzerStaleBound(),
+		analyzerGuardedBy(),
+		analyzerLockOrder(),
+		analyzerHotBlock(),
 	}
 }
 

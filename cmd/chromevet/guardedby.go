@@ -1,0 +1,123 @@
+package main
+
+// The guardedby analyzer (DESIGN.md §11.2): fields annotated
+// `//chromevet:guardedby mu` may only be read or written while the named
+// sibling mutex is provably held, tracked intraprocedurally by the
+// lockflow walker and interprocedurally through `//chromevet:locked mu`
+// caller-holds method summaries. RWMutex guards license reads under
+// RLock; writes always need the exclusive Lock.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func analyzerGuardedBy() *Analyzer {
+	return &Analyzer{
+		Name: "guardedby",
+		Doc: "fields annotated //chromevet:guardedby mu are only touched while the named mutex is held " +
+			"(//chromevet:locked mu summarizes caller-holds methods)",
+		Scope: ScopeInternal,
+		Run:   runGuardedBy,
+	}
+}
+
+func runGuardedBy(pass *Pass) []Finding {
+	p := pass.P
+	guarded := collectGuardedFields(pass.L, p)
+	locked := collectLockedFuncs(pass.L, p)
+	if len(guarded) == 0 && len(locked) == 0 {
+		return nil
+	}
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Analyzer: "guardedby",
+			Pos:      pass.pos(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Annotation errors, reported once, at the declaring package's pass.
+	for _, pos := range sortedPosKeys(guarded) {
+		if gf := guarded[pos]; gf.pkgPath == p.Path && gf.bad != "" {
+			report(pos, "%s", gf.bad)
+		}
+	}
+	for _, pos := range sortedPosKeys(locked) {
+		if lf := locked[pos]; lf.pkgPath == p.Path && lf.bad != "" {
+			report(pos, "%s", lf.bad)
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			w := &lockWalker{
+				p:       p,
+				guarded: guarded,
+				locked:  locked,
+				onAccess: func(sel *ast.SelectorExpr, gf guardedField, root types.Object, held lockSet, write bool) {
+					kind := "read of"
+					if write {
+						kind = "write to"
+					}
+					if root == nil {
+						report(sel.Sel.Pos(), "%s guarded field %s through an unresolvable base: cannot prove %s is held", kind, gf.name, gf.mutexName)
+						return
+					}
+					mode := held[lockKey{root: root, mutex: gf.mutexPos}]
+					switch {
+					case mode == lockWrite:
+					case write && mode == lockRead:
+						report(sel.Sel.Pos(), "write to guarded field %s while holding only the read lock on %s: writes need the exclusive Lock", gf.name, gf.mutexName)
+					case !write && mode == lockRead:
+					default:
+						report(sel.Sel.Pos(), "%s guarded field %s without holding %s: take the lock or annotate the enclosing method //chromevet:locked %s", kind, gf.name, gf.mutexName, gf.mutexName)
+					}
+				},
+				onLockedCall: func(call *ast.CallExpr, lf lockedFunc) {
+					report(call.Pos(), "call to //chromevet:locked method %s without holding %s exclusively", lf.name, lf.mutexName)
+				},
+			}
+			w.walk(fd, lockedEntrySet(p, fd, locked))
+		}
+	}
+	return out
+}
+
+// lockedEntrySet seeds the walker's entry state for //chromevet:locked
+// methods: the receiver's summarized mutex is write-held on entry.
+func lockedEntrySet(p *Package, fd *ast.FuncDecl, locked map[token.Pos]lockedFunc) lockSet {
+	entry := lockSet{}
+	lf, ok := locked[fd.Name.Pos()]
+	if !ok || lf.bad != "" || fd.Recv == nil {
+		return entry
+	}
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return entry
+	}
+	recv := p.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		return entry
+	}
+	entry[lockKey{root: recv, mutex: lf.mutexPos}] = lockWrite
+	return entry
+}
+
+// sortedPosKeys returns a map's position keys in source order, for
+// deterministic finding emission.
+func sortedPosKeys[V any](m map[token.Pos]V) []token.Pos {
+	out := make([]token.Pos, 0, len(m))
+	for pos := range m {
+		out = append(out, pos) //chromevet:allow maprange -- collect-then-sort: gathers the keys for the sort below
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

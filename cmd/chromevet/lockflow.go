@@ -1,0 +1,638 @@
+package main
+
+// Shared lock-set flow walker for the lock-discipline analyzers
+// (guardedby, lockorder — DESIGN.md §11). The walker runs a forward,
+// path-insensitive abstract interpretation of one function body: the
+// abstract state is the set of (receiver object, mutex field) pairs
+// provably held at each program point, with a read/write mode per pair.
+// Branches fork the set and rejoin by intersection (a lock is held after
+// an if only if both arms hold it), terminating branches (return, panic,
+// break/continue) drop out of the join, deferred Unlock/RUnlock leaves the
+// lock held to function exit, and goroutine and closure bodies are walked
+// with an empty lock set — a lock held at `go`/closure creation is not
+// provably held when the code runs.
+//
+// The walker is deliberately conservative: anything it cannot resolve
+// (mutexes reached through function calls, method values, interface
+// indirection) simply never enters the lock set, so dependent accesses
+// stay unproven and get reported. Freshly constructed values
+// (`x := &T{...}`, `new(T)`, composite literals) are exempt until they
+// escape the local frame: no other goroutine can hold a reference yet.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockKey identifies one mutex instance abstractly: the root object the
+// selector chain starts from (a local variable, parameter, or receiver)
+// plus the declaration position of the mutex field itself. Distinct roots
+// keep distinct shards' locks apart; the field position keys into the
+// lockrank/guardedby annotation tables.
+type lockKey struct {
+	root  types.Object
+	mutex token.Pos
+}
+
+// lockMode is how strongly a lock is held: lockRead licenses guarded
+// reads (RWMutex.RLock), lockWrite licenses everything.
+type lockMode int
+
+const (
+	lockNone lockMode = iota
+	lockRead
+	lockWrite
+)
+
+// lockSet is the abstract state: every mutex provably held here.
+type lockSet map[lockKey]lockMode
+
+func cloneLocks(s lockSet) lockSet {
+	out := make(lockSet, len(s))
+	for k, m := range s {
+		out[k] = m //chromevet:allow maprange -- map insert keyed by the iterated key is order-independent
+	}
+	return out
+}
+
+// intersectLocks joins two branch states: a lock is held at the meet only
+// if both paths hold it, at the weaker of the two modes.
+func intersectLocks(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k, ma := range a {
+		if mb, ok := b[k]; ok { //chromevet:allow maprange -- map insert keyed by the iterated key is order-independent
+			out[k] = min(ma, mb)
+		}
+	}
+	return out
+}
+
+// mutexOp is one resolved Lock/Unlock/RLock/RUnlock call.
+type mutexOp struct {
+	key     lockKey
+	acquire bool
+	read    bool // RLock/RUnlock
+}
+
+// lockWalker walks one function body tracking the lock set. The three
+// hooks are the analyzer-specific halves: onAcquire fires before a lock
+// enters the set (lockorder checks rank order), onAccess fires on every
+// guarded-field access with the current set (guardedby checks coverage),
+// onLockedCall fires on calls to //chromevet:locked methods whose mutex is
+// not provably held.
+type lockWalker struct {
+	p       *Package
+	guarded map[token.Pos]guardedField
+	locked  map[token.Pos]lockedFunc
+	fresh   map[types.Object]bool
+
+	onAcquire    func(at ast.Node, op mutexOp, held lockSet)
+	onAccess     func(sel *ast.SelectorExpr, gf guardedField, root types.Object, held lockSet, write bool)
+	onLockedCall func(call *ast.CallExpr, lf lockedFunc)
+}
+
+// walk runs the walker over fd's body with the given entry lock set
+// (non-empty for //chromevet:locked methods).
+func (w *lockWalker) walk(fd *ast.FuncDecl, entry lockSet) {
+	if fd.Body == nil {
+		return
+	}
+	if w.fresh == nil {
+		w.fresh = map[types.Object]bool{}
+	}
+	w.stmts(fd.Body.List, entry)
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held lockSet) lockSet {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held lockSet) lockSet {
+	switch x := s.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(x.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, held)
+	case *ast.ExprStmt:
+		return w.expr(x.X, held)
+	case *ast.SendStmt:
+		held = w.expr(x.Chan, held)
+		return w.expr(x.Value, held)
+	case *ast.IncDecStmt:
+		w.lvalue(x.X, held)
+		return held
+	case *ast.AssignStmt:
+		return w.assign(x, held)
+	case *ast.DeclStmt:
+		return w.declStmt(x, held)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			held = w.expr(r, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		// A deferred Unlock/RUnlock runs at function exit: the lock stays
+		// held for the rest of the body, which is exactly the defer idiom
+		// the walker exists to prove. Any other deferred call is inspected
+		// under the current set (it may touch guarded state; by the time it
+		// runs the set is unknowable, but flagging the common case of a
+		// guarded access in a deferred closure captured without the lock is
+		// handled by the closure rule below).
+		if op, ok := w.mutexOpOf(x.Call); ok && !op.acquire {
+			return held
+		}
+		w.inspect(x.Call, held, false)
+		return held
+	case *ast.GoStmt:
+		// The goroutine runs later: no lock held here is provably held
+		// there.
+		w.inspect(x.Call, lockSet{}, false)
+		return held
+	case *ast.IfStmt:
+		return w.ifStmt(x, held)
+	case *ast.ForStmt:
+		held = w.stmt(x.Init, held)
+		if x.Cond != nil {
+			held = w.expr(x.Cond, held)
+		}
+		bodyOut := w.stmt(x.Body, cloneLocks(held))
+		bodyOut = w.stmt(x.Post, bodyOut)
+		if blockTerminates(x.Body) {
+			return held
+		}
+		return intersectLocks(held, bodyOut)
+	case *ast.RangeStmt:
+		held = w.expr(x.X, held)
+		if x.Tok == token.ASSIGN {
+			if x.Key != nil {
+				w.lvalue(x.Key, held)
+			}
+			if x.Value != nil {
+				w.lvalue(x.Value, held)
+			}
+		}
+		bodyOut := w.stmt(x.Body, cloneLocks(held))
+		if blockTerminates(x.Body) {
+			return held
+		}
+		return intersectLocks(held, bodyOut)
+	case *ast.SwitchStmt:
+		held = w.stmt(x.Init, held)
+		if x.Tag != nil {
+			held = w.expr(x.Tag, held)
+		}
+		return w.clauses(x.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(x.Init, held)
+		held = w.stmt(x.Assign, held)
+		return w.clauses(x.Body, held)
+	case *ast.SelectStmt:
+		return w.clauses(x.Body, held)
+	default:
+		// BranchStmt, EmptyStmt: no lock effect.
+		return held
+	}
+}
+
+// clauses joins the bodies of a switch/type-switch/select: the
+// continuation holds a lock only if every non-terminating clause (and the
+// implicit fall-through when a switch has no default) still holds it.
+func (w *lockWalker) clauses(body *ast.BlockStmt, held lockSet) lockSet {
+	var out lockSet
+	merge := func(s lockSet) {
+		if out == nil {
+			out = s
+		} else {
+			out = intersectLocks(out, s)
+		}
+	}
+	hasDefault := false
+	for _, c := range body.List {
+		var comm []ast.Stmt
+		in := cloneLocks(held)
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.inspect(e, in, false)
+			}
+			comm = cc.Body
+		case *ast.CommClause:
+			hasDefault = hasDefault || cc.Comm == nil
+			in = w.stmt(cc.Comm, in)
+			comm = cc.Body
+		default:
+			continue
+		}
+		clauseOut := w.stmts(comm, in)
+		if !stmtsTerminate(comm) {
+			merge(clauseOut)
+		}
+	}
+	if !hasDefault {
+		// A switch without default can fall through untouched; a select
+		// without default blocks until a clause runs, but joining with the
+		// entry state is still sound (it only weakens the set).
+		merge(cloneLocks(held))
+	}
+	if out == nil {
+		return held
+	}
+	return out
+}
+
+func (w *lockWalker) ifStmt(x *ast.IfStmt, held lockSet) lockSet {
+	held = w.stmt(x.Init, held)
+	held = w.expr(x.Cond, held)
+	thenOut := w.stmt(x.Body, cloneLocks(held))
+	thenTerm := blockTerminates(x.Body)
+	if x.Else == nil {
+		if thenTerm {
+			// The early-exit idiom: `if bad { mu.Unlock(); return }` must
+			// not drop the lock on the fall-through path.
+			return held
+		}
+		return intersectLocks(held, thenOut)
+	}
+	elseOut := w.stmt(x.Else, cloneLocks(held))
+	elseTerm := blockTerminates(x.Else)
+	switch {
+	case thenTerm && elseTerm:
+		return held // continuation unreachable; state irrelevant
+	case thenTerm:
+		return elseOut
+	case elseTerm:
+		return thenOut
+	default:
+		return intersectLocks(thenOut, elseOut)
+	}
+}
+
+func (w *lockWalker) assign(x *ast.AssignStmt, held lockSet) lockSet {
+	for _, r := range x.Rhs {
+		held = w.expr(r, held)
+	}
+	if x.Tok == token.DEFINE {
+		// `x := &T{...}` / `new(T)` / `T{...}`: x is provably unshared
+		// until it escapes, so guarded accesses through it need no lock.
+		for i, lhs := range x.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := w.p.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if i < len(x.Rhs) && len(x.Lhs) == len(x.Rhs) && isFreshExpr(x.Rhs[i]) {
+				w.fresh[obj] = true
+			}
+		}
+		return held
+	}
+	for _, lhs := range x.Lhs {
+		// Assigning over a previously fresh variable may alias it to shared
+		// state; drop the exemption.
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := w.p.Info.ObjectOf(id); obj != nil {
+				delete(w.fresh, obj)
+			}
+		}
+		w.lvalue(lhs, held)
+	}
+	return held
+}
+
+func (w *lockWalker) declStmt(x *ast.DeclStmt, held lockSet) lockSet {
+	gd, ok := x.Decl.(*ast.GenDecl)
+	if !ok {
+		return held
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			held = w.expr(v, held)
+		}
+		for i, name := range vs.Names {
+			if i < len(vs.Values) && isFreshExpr(vs.Values[i]) {
+				if obj := w.p.Info.Defs[name]; obj != nil {
+					w.fresh[obj] = true
+				}
+			}
+		}
+	}
+	return held
+}
+
+// isFreshExpr reports whether e constructs a brand-new value no other
+// goroutine can reference yet.
+func isFreshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// expr evaluates one statement-level expression for lock effects:
+// top-level mutex operations update the set, immediately-invoked function
+// literals run under the current set, and everything else is inspected for
+// guarded accesses.
+func (w *lockWalker) expr(e ast.Expr, held lockSet) lockSet {
+	if e == nil {
+		return held
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if op, ok := w.mutexOpOf(call); ok {
+			return w.applyOp(call, op, held)
+		}
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			for _, a := range call.Args {
+				held = w.expr(a, held)
+			}
+			w.checkLockedCall(call, held)
+			return w.stmts(lit.Body.List, held)
+		}
+	}
+	w.inspect(e, held, false)
+	return held
+}
+
+func (w *lockWalker) applyOp(at ast.Node, op mutexOp, held lockSet) lockSet {
+	out := cloneLocks(held)
+	if !op.acquire {
+		delete(out, op.key)
+		return out
+	}
+	if w.onAcquire != nil {
+		w.onAcquire(at, op, held)
+	}
+	mode := lockWrite
+	if op.read {
+		mode = lockRead
+	}
+	if out[op.key] < mode {
+		out[op.key] = mode
+	}
+	return out
+}
+
+// lvalue walks an assignment target: guarded fields anywhere along the
+// selector chain count as writes, index expressions contribute reads.
+func (w *lockWalker) lvalue(e ast.Expr, held lockSet) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if gf, ok := w.guardedSel(x); ok {
+				w.accessAt(x, gf, held, true)
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			w.inspect(x.Index, held, false)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return
+		default:
+			w.inspect(e, held, false)
+			return
+		}
+	}
+}
+
+// inspect recursively scans an expression subtree for guarded-field reads
+// (or writes, inside an lvalue), locked-method calls, and nested function
+// literals. It does not change the lock set: mutex operations only count
+// at statement level, where their effect on subsequent statements is
+// well-defined.
+func (w *lockWalker) inspect(root ast.Node, held lockSet, write bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// The closure may run on another goroutine or after the lock is
+			// released: walk it with an empty set and no freshness.
+			saved := w.fresh
+			w.fresh = map[types.Object]bool{}
+			w.stmts(x.Body.List, lockSet{})
+			w.fresh = saved
+			return false
+		case *ast.CompositeLit:
+			w.compositeLit(x, held, write)
+			return false
+		case *ast.SelectorExpr:
+			if gf, ok := w.guardedSel(x); ok {
+				w.accessAt(x, gf, held, write)
+			}
+			return true
+		case *ast.CallExpr:
+			w.checkLockedCall(x, held)
+			return true
+		}
+		return true
+	})
+}
+
+// compositeLit walks a composite literal, skipping the field-name keys of
+// struct literals (they resolve to field objects in Info.Uses and would
+// read as guarded accesses) while still walking map/array keys, which are
+// real expressions.
+func (w *lockWalker) compositeLit(lit *ast.CompositeLit, held lockSet, write bool) {
+	isStruct := false
+	if t := w.p.Info.TypeOf(lit); t != nil {
+		_, isStruct = t.Underlying().(*types.Struct)
+	}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if !isStruct {
+				w.inspect(kv.Key, held, write)
+			}
+			w.inspect(kv.Value, held, write)
+			continue
+		}
+		w.inspect(elt, held, write)
+	}
+}
+
+// guardedSel reports whether sel selects a //chromevet:guardedby field.
+func (w *lockWalker) guardedSel(sel *ast.SelectorExpr) (guardedField, bool) {
+	if w.guarded == nil {
+		return guardedField{}, false
+	}
+	obj := w.p.Info.Uses[sel.Sel]
+	if obj == nil {
+		return guardedField{}, false
+	}
+	gf, ok := w.guarded[declPosOf(obj)]
+	return gf, ok
+}
+
+func (w *lockWalker) accessAt(sel *ast.SelectorExpr, gf guardedField, held lockSet, write bool) {
+	if w.onAccess == nil || gf.bad != "" {
+		return
+	}
+	root := rootObjOf(w.p, sel.X)
+	if root != nil && w.fresh[root] {
+		return
+	}
+	w.onAccess(sel, gf, root, held, write)
+}
+
+// checkLockedCall fires onLockedCall when a //chromevet:locked method is
+// called without its receiver's mutex provably write-held.
+func (w *lockWalker) checkLockedCall(call *ast.CallExpr, held lockSet) {
+	if w.onLockedCall == nil || w.locked == nil {
+		return
+	}
+	fn := calleeOf(w.p, call)
+	if fn == nil {
+		return
+	}
+	lf, ok := w.locked[fn.Origin().Pos()]
+	if !ok || lf.bad != "" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		// Method expression or value: receiver unknowable, report.
+		w.onLockedCall(call, lf)
+		return
+	}
+	root := rootObjOf(w.p, sel.X)
+	if root != nil && w.fresh[root] {
+		return
+	}
+	if root != nil && held[lockKey{root: root, mutex: lf.mutexPos}] == lockWrite {
+		return
+	}
+	w.onLockedCall(call, lf)
+}
+
+// mutexOpOf resolves a call to sync.(RW)Mutex Lock/Unlock/RLock/RUnlock on
+// a trackable operand (a field selector chain rooted in a local object, or
+// a bare mutex variable). Unresolvable operands return false: the lock
+// never enters the set, so dependent accesses stay unproven —
+// conservative, never unsound.
+func (w *lockWalker) mutexOpOf(call *ast.CallExpr) (mutexOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	var acquire, read bool
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return mutexOp{}, false
+	}
+	fn, _ := w.p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return mutexOp{}, false
+	}
+	key, ok := mutexKeyOf(w.p, sel.X)
+	if !ok {
+		return mutexOp{}, false
+	}
+	return mutexOp{key: key, acquire: acquire, read: read}, true
+}
+
+// mutexKeyOf builds the abstract identity of a mutex operand.
+func mutexKeyOf(p *Package, e ast.Expr) (lockKey, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj := p.Info.Uses[x.Sel]
+		if obj == nil {
+			return lockKey{}, false
+		}
+		root := rootObjOf(p, x.X)
+		if root == nil {
+			return lockKey{}, false
+		}
+		return lockKey{root: root, mutex: declPosOf(obj)}, true
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(x)
+		if obj == nil {
+			return lockKey{}, false
+		}
+		return lockKey{root: obj, mutex: declPosOf(obj)}, true
+	}
+	return lockKey{}, false
+}
+
+// rootObjOf resolves the base identifier of a selector chain to its
+// object: the local variable, parameter, receiver, or package var the
+// chain starts from.
+func rootObjOf(p *Package, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// declPosOf returns an object's origin declaration position (fields of
+// instantiated generic types report the origin field).
+func declPosOf(obj types.Object) token.Pos {
+	if v, ok := obj.(*types.Var); ok {
+		return v.Origin().Pos()
+	}
+	return obj.Pos()
+}
+
+// blockTerminates reports whether control cannot fall out of the bottom
+// of s (return, panic, break/continue/goto, or an if whose arms both
+// terminate). Used to keep terminating branches out of lock-set joins.
+func blockTerminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return stmtsTerminate(x.List)
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return x.Tok != token.FALLTHROUGH
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(x.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.IfStmt:
+		return x.Else != nil && blockTerminates(x.Body) && blockTerminates(x.Else)
+	case *ast.LabeledStmt:
+		return blockTerminates(x.Stmt)
+	}
+	return false
+}
+
+func stmtsTerminate(list []ast.Stmt) bool {
+	return len(list) > 0 && blockTerminates(list[len(list)-1])
+}

@@ -1,0 +1,117 @@
+package main
+
+// The lockorder analyzer (DESIGN.md §11.3): static deadlock prevention by
+// rank. Every sync.Mutex/RWMutex struct field in certified packages must
+// carry `//chromevet:lockrank N`, and nested acquisitions must strictly
+// increase in rank — two goroutines can only deadlock on a lock pair if
+// one of them acquires against the rank order, so a tree with no
+// out-of-order acquisition is deadlock-free by construction.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+func analyzerLockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc: "mutex fields carry //chromevet:lockrank N and nested acquisition strictly increases in rank " +
+			"(static deadlock prevention)",
+		Scope: ScopeInternal,
+		Run:   runLockOrder,
+	}
+}
+
+func runLockOrder(pass *Pass) []Finding {
+	p := pass.P
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Analyzer: "lockorder",
+			Pos:      pass.pos(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Local annotation audit: every mutex field in this package declares a
+	// well-formed rank.
+	hasMutexField := false
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				rw, isMu := isMutexType(p.Info.TypeOf(fld.Type))
+				if !isMu {
+					continue
+				}
+				hasMutexField = true
+				kind := "Mutex"
+				if rw {
+					kind = "RWMutex"
+				}
+				arg, annotated := directiveArg("//chromevet:lockrank", fld.Doc, fld.Comment)
+				for _, name := range fld.Names {
+					switch {
+					case !annotated:
+						report(name.Pos(), "sync.%s field %s has no //chromevet:lockrank: every mutex in certified packages declares its acquisition rank", kind, name.Name)
+					case badRank(arg):
+						report(name.Pos(), "//chromevet:lockrank argument %q is not an integer rank", arg)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Flow audit: at each acquisition, no already-held ranked mutex may
+	// rank at or above the one being acquired. One finding per acquire
+	// site (against the highest-ranked held lock) keeps output stable
+	// under SortFindings.
+	ranks := collectLockRanks(pass.L, p)
+	locked := collectLockedFuncs(pass.L, p)
+	if len(ranks) == 0 && !hasMutexField {
+		return out
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			w := &lockWalker{
+				p: p,
+				onAcquire: func(at ast.Node, op mutexOp, held lockSet) {
+					r, ok := ranks[op.key.mutex]
+					if !ok {
+						return // unranked: already reported at the declaration
+					}
+					worst, worstName := -1, ""
+					for k := range held {
+						hr, ok := ranks[k.mutex]
+						if !ok {
+							continue
+						}
+						if hr.rank > worst || (hr.rank == worst && hr.name < worstName) {
+							worst, worstName = hr.rank, hr.name //chromevet:allow maprange -- max over a set is order-independent (ties broken by name)
+						}
+					}
+					if worst >= r.rank {
+						report(at.Pos(), "acquires %s (rank %d) while holding %s (rank %d): lock ranks must strictly increase inward", r.name, r.rank, worstName, worst)
+					}
+				},
+			}
+			w.walk(fd, lockedEntrySet(p, fd, locked))
+		}
+	}
+	return out
+}
+
+func badRank(arg string) bool {
+	_, err := strconv.Atoi(arg)
+	return err != nil
+}

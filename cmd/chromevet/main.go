@@ -41,7 +41,16 @@
 //     touching sharded state (joinsync); cross-package fetches of epoch
 //     snapshots go through a //chromevet:stalebound accessor taking an
 //     explicit staleness bound, never a //chromevet:rawsnap fetcher
-//     (stalebound).
+//     (stalebound);
+//   - lock-discipline certification (DESIGN.md §11): fields annotated
+//     "//chromevet:guardedby mu" are only read or written while the named
+//     sibling mutex is provably held, tracked through Lock/Unlock/defer
+//     flow and interprocedural //chromevet:locked caller-holds summaries
+//     (guardedby); every sync.Mutex/RWMutex field declares
+//     "//chromevet:lockrank N" and nested acquisition strictly increases
+//     in rank, so the lock tree is deadlock-free by construction
+//     (lockorder); and //chromevet:hot functions never block — no sync
+//     primitives, channel operations, timer waits, or I/O (hotblock).
 //
 // Findings can be suppressed line-by-line with a justification comment:
 //

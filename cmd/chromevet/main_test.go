@@ -97,6 +97,9 @@ func fixtureLoader(t *testing.T) *Loader {
 	l.Override("chrome/internal/vetfixture/joinsync", filepath.Join(base, "joinsync"))
 	l.Override("chrome/internal/vetfixture/stalesnap", filepath.Join(base, "stalebound", "snap"))
 	l.Override("chrome/internal/vetfixture/stalebound", filepath.Join(base, "stalebound"))
+	l.Override("chrome/internal/vetfixture/guardedby", filepath.Join(base, "guardedby"))
+	l.Override("chrome/internal/vetfixture/lockorder", filepath.Join(base, "lockorder"))
+	l.Override("chrome/internal/vetfixture/hotblock", filepath.Join(base, "hotblock"))
 	return l
 }
 
@@ -121,7 +124,11 @@ func TestFixtures(t *testing.T) {
 		{name: "policyreg", paths: []string{"chrome/internal/policy"}, dirs: []string{filepath.Join("policyreg", "policy")}},
 		{name: "globalmut", paths: []string{"chrome/internal/vetfixture/globalmut"}, dirs: []string{"globalmut"}},
 		{name: "aliasshare", paths: []string{"chrome/internal/policy/parfixture"}, dirs: []string{"aliasshare"}},
-		{name: "concprim", paths: []string{"chrome/internal/cache/parfixture"}, dirs: []string{"concprim"}},
+		// The guarded struct's bare mutex also trips lockorder's
+		// annotation audit, deliberately: certified packages rank every
+		// mutex, even ones that shouldn't exist in the first place.
+		{name: "concprim", paths: []string{"chrome/internal/cache/parfixture"}, dirs: []string{"concprim"},
+			analyzers: []string{"concprim", "lockorder"}},
 		{name: "hotalloc", paths: []string{"chrome/internal/vetfixture/hotalloc"}, dirs: []string{"hotalloc"}},
 		{name: "hotiface", paths: []string{"chrome/internal/vetfixture/hotiface"}, dirs: []string{"hotiface"}},
 		{name: "frozenshare", paths: []string{"chrome/internal/vetfixture/frozenshare"}, dirs: []string{"frozenshare"}},
@@ -151,7 +158,13 @@ func TestFixtures(t *testing.T) {
 		// surface as ordinary narrowing findings. Stale allows naming the
 		// sharded-ownership analyzers prove used-tracking covers them too.
 		{name: "allowedge", paths: []string{"chrome/internal/vetfixture/allowedge"}, dirs: []string{"allowedge"},
-			analyzers: []string{"narrowing", "allow"}},
+			analyzers: []string{"narrowing", "allow", "guardedby", "lockorder", "hotblock"}},
+		{name: "guardedby", paths: []string{"chrome/internal/vetfixture/guardedby"}, dirs: []string{"guardedby"}},
+		{name: "lockorder", paths: []string{"chrome/internal/vetfixture/lockorder"}, dirs: []string{"lockorder"}},
+		// The sleeping case deliberately also trips walltime: the
+		// wall-clock ban applies to internal packages hot or not.
+		{name: "hotblock", paths: []string{"chrome/internal/vetfixture/hotblock"}, dirs: []string{"hotblock"},
+			analyzers: []string{"hotblock", "walltime"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,127 @@
+// Package fixture exercises the guardedby analyzer: fields annotated
+// //chromevet:guardedby mu may only be read or written while the named
+// sibling mutex is provably held (DESIGN.md §11.2), tracked through
+// Lock/Unlock/defer flow and //chromevet:locked caller-holds summaries.
+// Loaded by the driver test under chrome/internal/vetfixture/guardedby so
+// the internal scope applies.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex //chromevet:lockrank 10
+	n  int        //chromevet:guardedby mu
+}
+
+// goodLock brackets the access with the lock.
+func (c *counter) goodLock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodDefer uses the defer idiom: the lock stays held to function exit.
+func (c *counter) goodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// badRead touches the field with no lock at all.
+func (c *counter) badRead() int {
+	return c.n // want guardedby "read of guarded field n without holding mu"
+}
+
+// badWrite stores with no lock at all.
+func (c *counter) badWrite() {
+	c.n = 7 // want guardedby "write to guarded field n without holding mu"
+}
+
+// unlockTooSoon releases before the access.
+func (c *counter) unlockTooSoon() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n++ // want guardedby "write to guarded field n without holding mu"
+}
+
+// branchy only locks on one path: the access is unproven at the join.
+func (c *counter) branchy(p bool) {
+	if p {
+		c.mu.Lock()
+	}
+	c.n++ // want guardedby "write to guarded field n without holding mu"
+	if p {
+		c.mu.Unlock()
+	}
+}
+
+// earlyReturn is the early-exit idiom: the unlocking arm returns, so the
+// lock is still held on the fall-through path. No finding.
+func (c *counter) earlyReturn(p bool) int {
+	c.mu.Lock()
+	if p {
+		c.mu.Unlock()
+		return 0
+	}
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bump summarizes its locking contract: every caller holds mu.
+//
+//chromevet:locked mu
+func (c *counter) bump() {
+	c.n++
+}
+
+// goodCaller holds the lock across the locked call.
+func (c *counter) goodCaller() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// badCaller invokes the locked method without the lock.
+func (c *counter) badCaller() {
+	c.bump() // want guardedby "call to //chromevet:locked method counter.bump without holding mu exclusively"
+}
+
+// newCounter touches the field on a freshly constructed value: no other
+// goroutine can hold a reference yet, so no lock is needed.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+type table struct {
+	rw sync.RWMutex   //chromevet:lockrank 20
+	m  map[string]int //chromevet:guardedby rw
+}
+
+// get reads under the read lock: RLock licenses reads.
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// putUnderRead writes under the read lock only.
+func (t *table) putUnderRead(k string, v int) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = v // want guardedby "write to guarded field m while holding only the read lock on rw"
+}
+
+// put writes under the exclusive lock.
+func (t *table) put(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}
+
+type botched struct {
+	lk sync.Mutex //chromevet:lockrank 30
+	nx int        //chromevet:guardedby ghost // want guardedby "no such sibling field in the struct"
+	ny int        //chromevet:guardedby nx // want guardedby "not a sync.Mutex or sync.RWMutex field"
+}

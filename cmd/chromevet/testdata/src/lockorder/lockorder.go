@@ -1,0 +1,61 @@
+// Package fixture exercises the lockorder analyzer: every mutex field
+// declares //chromevet:lockrank N and nested acquisition strictly
+// increases in rank (DESIGN.md §11.3) — a lock tree with no out-of-order
+// acquisition cannot deadlock. Loaded by the driver test under
+// chrome/internal/vetfixture/lockorder so the internal scope applies.
+package fixture
+
+import "sync"
+
+type layered struct {
+	low  sync.Mutex //chromevet:lockrank 10
+	high sync.Mutex //chromevet:lockrank 20
+}
+
+// goodOrder acquires inward in increasing rank.
+func (l *layered) goodOrder() {
+	l.low.Lock()
+	l.high.Lock()
+	l.high.Unlock()
+	l.low.Unlock()
+}
+
+// inverted acquires against the rank order: the classic deadlock half.
+func (l *layered) inverted() {
+	l.high.Lock()
+	l.low.Lock() // want lockorder "acquires low \(rank 10\) while holding high \(rank 20\)"
+	l.low.Unlock()
+	l.high.Unlock()
+}
+
+// selfNest re-acquires a held lock: rank must strictly increase, so a
+// self-nest is out of order too (sync.Mutex self-deadlocks).
+func (l *layered) selfNest() {
+	l.low.Lock()
+	l.low.Lock() // want lockorder "acquires low \(rank 10\) while holding low \(rank 10\)"
+	l.low.Unlock()
+	l.low.Unlock()
+}
+
+// sequential re-acquisition after release is fine: the set is empty again.
+func (l *layered) sequential() {
+	l.high.Lock()
+	l.high.Unlock()
+	l.low.Lock()
+	l.low.Unlock()
+}
+
+type unranked struct {
+	mu sync.Mutex // want lockorder "sync.Mutex field mu has no //chromevet:lockrank"
+	n  int
+}
+
+func (u *unranked) bump() {
+	u.mu.Lock()
+	u.n++
+	u.mu.Unlock()
+}
+
+type badRanked struct {
+	rw sync.RWMutex //chromevet:lockrank banana // want lockorder "argument \"banana\" is not an integer rank"
+}

@@ -67,8 +67,8 @@ func (sc Scale) samplingParams() (interval, warmup mem.Instr, clusters int) {
 // misses return the identical (deterministic) value, so output stays
 // byte-identical at any -j.
 var profileCache struct {
-	mu sync.Mutex
-	m  map[string]simpoint.Profile
+	mu sync.Mutex                  //chromevet:lockrank 20
+	m  map[string]simpoint.Profile //chromevet:guardedby mu
 }
 
 // cachedProfile returns the mix's interval profile, computing it on first

@@ -34,8 +34,8 @@ type recKey struct {
 // only guards the inner map; the *trace.Recording values are frozen and
 // shared without locks.
 type profileRecordings struct {
-	mu   sync.Mutex
-	recs map[recKey]*trace.Recording
+	mu   sync.Mutex                  //chromevet:lockrank 10
+	recs map[recKey]*trace.Recording //chromevet:guardedby mu
 }
 
 var (
